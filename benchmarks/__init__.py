@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per paper figure / experiment table (see DESIGN.md)."""

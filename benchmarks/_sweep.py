@@ -1,0 +1,61 @@
+"""Shared Phase-1 sweep machinery used by the per-criterion benchmarks.
+
+A sweep takes one injector (one data quality criterion), degrades the clean
+reference sample at increasing severities and cross-validates every candidate
+algorithm on each degraded variant — exactly the "simple" experiments of the
+paper's §3.1 whose aggregated rows populate the DQ4DM knowledge base.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.injection import apply_injections
+from repro.mining import CLASSIFIER_REGISTRY
+from repro.mining.validation import cross_validate
+from repro.tabular.dataset import Dataset
+
+
+def sensitivity_sweep(
+    dataset: Dataset,
+    injector_name: str,
+    severities: Sequence[float],
+    algorithms: Sequence[str],
+    metric: str = "accuracy",
+    cv_folds: int = 3,
+    seed: int = 0,
+) -> dict[str, dict[float, float]]:
+    """Return ``algorithm → {severity → metric}`` for one injected criterion."""
+    results: dict[str, dict[float, float]] = {name: {} for name in algorithms}
+    for step, severity in enumerate(severities):
+        degraded = (
+            dataset
+            if severity == 0.0
+            else apply_injections(dataset, {injector_name: severity}, seed=seed + step)
+        )
+        for name in algorithms:
+            evaluation = cross_validate(CLASSIFIER_REGISTRY[name], degraded, k=cv_folds, seed=seed)
+            results[name][severity] = getattr(evaluation, metric)
+    return results
+
+
+def sweep_rows(results: dict[str, dict[float, float]]) -> list[list]:
+    """Flatten sweep results into printable table rows (algorithm, then one column per severity)."""
+    severities = sorted(next(iter(results.values())))
+    rows = []
+    for algorithm in sorted(results):
+        rows.append([algorithm] + [results[algorithm][severity] for severity in severities])
+    return rows
+
+
+def degradation(results: dict[str, dict[float, float]], algorithm: str) -> float:
+    """Clean-minus-worst score for one algorithm (how much the problem hurts it)."""
+    by_severity = results[algorithm]
+    clean = by_severity[min(by_severity)]
+    worst = min(by_severity.values())
+    return clean - worst
+
+
+def most_robust(results: dict[str, dict[float, float]]) -> str:
+    """The algorithm with the smallest degradation across the sweep."""
+    return min(sorted(results), key=lambda name: degradation(results, name))

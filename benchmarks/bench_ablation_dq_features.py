@@ -1,0 +1,59 @@
+"""ABL-DQ-FEATURES — ablation: which measured criteria drive good advice?
+
+The advisor's profile distance is restricted by dropping one quality criterion
+at a time.  Expected shape: dropping criteria that the experiments actually
+varied (completeness, accuracy, balance) costs more advice quality than
+dropping criteria that stayed nearly constant (outliers), confirming that the
+knowledge base's value comes from the criteria it measured systematically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FAST_ALGORITHMS, print_table
+from repro.core import Advisor, apply_injections
+from repro.datasets import make_classification_dataset
+from repro.mining import CLASSIFIER_REGISTRY, cross_validate
+
+DEGRADATIONS = [{"completeness": 0.45}, {"accuracy": 0.35}, {"balance": 0.85}, {"completeness": 0.3, "accuracy": 0.2}]
+
+
+def run_ablation(knowledge_base):
+    criteria = knowledge_base.criteria()
+    unseen = []
+    for index, injections in enumerate(DEGRADATIONS):
+        base = make_classification_dataset(n_rows=130, n_numeric=4, n_categorical=2, seed=800 + index)
+        dirty = apply_injections(base, injections, seed=index)
+        actual = {
+            name: cross_validate(CLASSIFIER_REGISTRY[name], dirty, k=3).accuracy for name in FAST_ALGORITHMS
+        }
+        unseen.append((dirty, actual))
+
+    def mean_achieved(advisor: Advisor) -> float:
+        achieved = []
+        for dirty, actual in unseen:
+            recommendation = advisor.advise(dirty)
+            achieved.append(actual[recommendation.best_algorithm])
+        return sum(achieved) / len(achieved)
+
+    rows = [["(all criteria)", mean_achieved(Advisor(knowledge_base, k=5, criteria=criteria))]]
+    for dropped in criteria:
+        remaining = [c for c in criteria if c != dropped]
+        rows.append([f"without {dropped}", mean_achieved(Advisor(knowledge_base, k=5, criteria=remaining))])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_dq_features(benchmark, bench_knowledge_base):
+    rows = benchmark.pedantic(run_ablation, args=(bench_knowledge_base,), rounds=1, iterations=1)
+    print_table(
+        "ABL-DQ-FEATURES: advisor quality when one measured criterion is ignored",
+        ["criterion set", "mean_achieved_accuracy"],
+        rows,
+    )
+    full = rows[0][1]
+    worst_drop = max(full - value for _, value in rows[1:])
+    benchmark.extra_info["worst_drop_when_removing_one_criterion"] = worst_drop
+    # Advice never becomes dramatically better by ignoring a criterion.
+    assert all(value <= full + 0.05 for _, value in rows[1:])

@@ -1,0 +1,74 @@
+"""ABL-KB-SIZE — ablation: how many experiment records does the advisor need?
+
+The knowledge base is subsampled at increasing sizes and the advisor's mean
+achieved accuracy on unseen degraded sources is measured for each size.
+Expected shape: advice quality improves (or at least does not degrade) with
+more knowledge-base records and saturates well below the full campaign size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import FAST_ALGORITHMS, print_table
+from repro.core import Advisor, KnowledgeBase, apply_injections
+from repro.datasets import make_classification_dataset
+from repro.mining import CLASSIFIER_REGISTRY, cross_validate
+
+FRACTIONS = (0.1, 0.3, 0.6, 1.0)
+DEGRADATIONS = [{"completeness": 0.4}, {"accuracy": 0.3}, {"balance": 0.8}]
+
+
+def run_ablation(knowledge_base):
+    # Pre-compute the measured accuracy of every algorithm on every unseen source.
+    unseen = []
+    for index, injections in enumerate(DEGRADATIONS):
+        base = make_classification_dataset(n_rows=130, n_numeric=4, n_categorical=2, seed=700 + index)
+        dirty = apply_injections(base, injections, seed=index)
+        actual = {
+            name: cross_validate(CLASSIFIER_REGISTRY[name], dirty, k=3).accuracy for name in FAST_ALGORITHMS
+        }
+        unseen.append((dirty, actual))
+
+    rows = []
+    rng = random.Random(0)
+    records = knowledge_base.records
+    for fraction in FRACTIONS:
+        n_records = max(len(FAST_ALGORITHMS), int(round(fraction * len(records))))
+        subset = KnowledgeBase(rng.sample(records, n_records)) if n_records < len(records) else knowledge_base
+        # make sure every algorithm keeps at least one record in the subset
+        missing = set(FAST_ALGORITHMS) - set(subset.algorithms())
+        for algorithm in missing:
+            subset.add(next(r for r in records if r.algorithm == algorithm))
+        advisor = Advisor(subset, k=5)
+        achieved = []
+        oracle = []
+        for dirty, actual in unseen:
+            recommendation = advisor.advise(dirty)
+            achieved.append(actual[recommendation.best_algorithm])
+            oracle.append(max(actual.values()))
+        rows.append(
+            [
+                len(subset),
+                sum(achieved) / len(achieved),
+                sum(oracle) / len(oracle) - sum(achieved) / len(achieved),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_kb_size(benchmark, bench_knowledge_base):
+    rows = benchmark.pedantic(run_ablation, args=(bench_knowledge_base,), rounds=1, iterations=1)
+    print_table(
+        "ABL-KB-SIZE: advisor quality vs number of knowledge-base records",
+        ["kb_records", "mean_achieved_accuracy", "mean_regret_vs_oracle"],
+        rows,
+    )
+    # The full knowledge base should not do worse than the smallest subsample.
+    assert rows[-1][1] >= rows[0][1] - 0.05
+    # Regret with the full knowledge base stays small.
+    assert rows[-1][2] < 0.15
+    benchmark.extra_info["full_kb_regret"] = rows[-1][2]

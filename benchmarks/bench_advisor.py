@@ -1,0 +1,71 @@
+"""EXP-ADVISOR — ranking quality of the knowledge-base advisor.
+
+For a set of unseen degraded sources the advisor's predicted ranking of the
+candidate algorithms is compared against the actually measured ranking.
+Expected shape: the advisor's top choice lands in the measured top-2 for most
+sources, and its predicted scores correlate positively with the achieved ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FAST_ALGORITHMS, print_table
+from repro.core import Advisor, apply_injections
+from repro.datasets import make_classification_dataset
+from repro.mining import CLASSIFIER_REGISTRY, cross_validate
+from repro.tabular.stats import spearman
+
+DEGRADATIONS = [
+    {"completeness": 0.45},
+    {"accuracy": 0.35},
+    {"balance": 0.85},
+    {"completeness": 0.25, "dimensionality": 0.6},
+]
+
+
+def run_ranking_study(knowledge_base):
+    advisor = Advisor(knowledge_base, k=7)
+    rows = []
+    top2_hits = 0
+    correlations = []
+    for index, injections in enumerate(DEGRADATIONS):
+        unseen = make_classification_dataset(n_rows=130, n_numeric=4, n_categorical=2, seed=900 + index)
+        dirty = apply_injections(unseen, injections, seed=index)
+        recommendation = advisor.advise(dirty)
+        predicted = dict(recommendation.ranked_algorithms)
+        actual = {
+            name: cross_validate(CLASSIFIER_REGISTRY[name], dirty, k=3).accuracy for name in FAST_ALGORITHMS
+        }
+        actual_ranking = sorted(actual, key=actual.get, reverse=True)
+        in_top2 = recommendation.best_algorithm in actual_ranking[:2]
+        top2_hits += int(in_top2)
+        correlation = spearman(
+            [predicted[name] for name in FAST_ALGORITHMS], [actual[name] for name in FAST_ALGORITHMS]
+        )
+        correlations.append(correlation)
+        rows.append(
+            [
+                "+".join(injections),
+                recommendation.best_algorithm,
+                actual_ranking[0],
+                "yes" if in_top2 else "no",
+                correlation,
+            ]
+        )
+    return rows, top2_hits, correlations
+
+
+@pytest.mark.benchmark(group="advisor")
+def test_advisor_ranking_quality(benchmark, bench_knowledge_base):
+    rows, top2_hits, correlations = benchmark.pedantic(
+        run_ranking_study, args=(bench_knowledge_base,), rounds=1, iterations=1
+    )
+    print_table(
+        "EXP-ADVISOR: predicted vs measured best algorithm per degraded source",
+        ["degradation", "advised", "actual_best", "advised_in_top2", "rank_correlation"],
+        rows,
+    )
+    benchmark.extra_info["top2_hit_rate"] = top2_hits / len(rows)
+    benchmark.extra_info["mean_rank_correlation"] = sum(correlations) / len(correlations)
+    assert top2_hits >= len(rows) - 1, "the advisor's choice should almost always be in the measured top 2"

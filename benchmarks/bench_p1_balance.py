@@ -1,0 +1,45 @@
+"""EXP-P1-BALANCE — Phase 1, balanced-data criterion.
+
+The minority class is shrunk at increasing severities.  Expected shape: plain
+accuracy can stay deceptively high (predicting the majority), but macro-F1 and
+kappa collapse as the imbalance grows, which is exactly why the knowledge base
+stores several metrics per experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._sweep import sensitivity_sweep, sweep_rows
+from benchmarks.conftest import FAST_ALGORITHMS, print_table, reference_dataset
+
+SEVERITIES = (0.0, 0.5, 0.8, 0.95)
+
+
+def run_sweeps():
+    dataset = reference_dataset(n_rows=200)
+    accuracy = sensitivity_sweep(dataset, "balance", SEVERITIES, FAST_ALGORITHMS, metric="accuracy")
+    macro_f1 = sensitivity_sweep(dataset, "balance", SEVERITIES, FAST_ALGORITHMS, metric="macro_f1")
+    kappa = sensitivity_sweep(dataset, "balance", SEVERITIES, FAST_ALGORITHMS, metric="kappa")
+    return accuracy, macro_f1, kappa
+
+
+@pytest.mark.benchmark(group="phase1")
+def test_p1_balance(benchmark):
+    accuracy, macro_f1, kappa = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    header = ["algorithm"] + [f"imbalance={s:.2f}" for s in SEVERITIES]
+    print_table("EXP-P1-BALANCE: accuracy vs imbalance severity", header, sweep_rows(accuracy))
+    print_table("EXP-P1-BALANCE: macro-F1 vs imbalance severity", header, sweep_rows(macro_f1))
+    print_table("EXP-P1-BALANCE: kappa vs imbalance severity", header, sweep_rows(kappa))
+
+    worst = max(SEVERITIES)
+    for algorithm in FAST_ALGORITHMS:
+        # macro-F1 and kappa degrade at least as much as raw accuracy
+        accuracy_drop = accuracy[algorithm][0.0] - accuracy[algorithm][worst]
+        f1_drop = macro_f1[algorithm][0.0] - macro_f1[algorithm][worst]
+        kappa_drop = kappa[algorithm][0.0] - kappa[algorithm][worst]
+        assert f1_drop >= accuracy_drop - 0.10
+        assert kappa_drop >= accuracy_drop - 0.10
+    benchmark.extra_info["mean_kappa_drop"] = sum(
+        kappa[a][0.0] - kappa[a][worst] for a in FAST_ALGORITHMS
+    ) / len(FAST_ALGORITHMS)

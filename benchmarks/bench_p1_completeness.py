@@ -1,0 +1,45 @@
+"""EXP-P1-MISSING — Phase 1, completeness criterion.
+
+Missing values are injected at increasing rates and every classifier is
+cross-validated on each variant.  Expected shape: accuracy decreases with the
+missing rate for every algorithm; naive Bayes (which simply skips missing
+attributes) degrades less than k-NN (whose HEOM distance saturates) and less
+than the rule inducers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._sweep import degradation, most_robust, sensitivity_sweep, sweep_rows
+from benchmarks.conftest import BENCH_ALGORITHMS, print_table, reference_dataset
+
+SEVERITIES = (0.0, 0.1, 0.2, 0.4)
+
+
+def run_sweep():
+    return sensitivity_sweep(reference_dataset(), "completeness", SEVERITIES, BENCH_ALGORITHMS)
+
+
+@pytest.mark.benchmark(group="phase1")
+def test_p1_completeness(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "EXP-P1-MISSING: accuracy vs missing-value rate",
+        ["algorithm"] + [f"missing={s:.0%}" for s in SEVERITIES],
+        sweep_rows(results),
+    )
+    benchmark.extra_info["most_robust"] = most_robust(results)
+
+    for algorithm in BENCH_ALGORITHMS:
+        clean = results[algorithm][0.0]
+        worst = results[algorithm][max(SEVERITIES)]
+        assert clean >= worst - 0.05, f"{algorithm} should not improve under heavy missingness"
+    # naive Bayes (which skips missing attributes) is expected to remain among
+    # the strongest algorithms at the heaviest missing-value rate.
+    worst_severity = max(SEVERITIES)
+    ranked_at_worst = sorted(BENCH_ALGORITHMS, key=lambda name: -results[name][worst_severity])
+    assert "naive_bayes" in ranked_at_worst[:3]
+    benchmark.extra_info["mean_degradation"] = sum(
+        degradation(results, name) for name in BENCH_ALGORITHMS
+    ) / len(BENCH_ALGORITHMS)

@@ -1,0 +1,67 @@
+"""EXP-P1-DIMENSIONALITY — Phase 1, high-dimensionality criterion.
+
+Irrelevant attributes are added to emulate a wide LOD tabulation; three
+strategies are compared — mining the raw wide data, PCA reduction, and
+information-gain feature selection (which preserves the original attributes
+and therefore the data structure the paper cares about).  Expected shape: k-NN
+suffers most from added dimensions, and both reduction strategies recover part
+of the loss, with selection keeping interpretable attributes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, reference_dataset
+from repro.core.injection import IrrelevantAttributesInjector
+from repro.mining import (
+    CLASSIFIER_REGISTRY,
+    PCATransformer,
+    cross_validate,
+    select_features,
+)
+
+ALGORITHMS = ("decision_tree", "naive_bayes", "knn")
+ADDED = (0, 20, 60)
+
+
+def run_experiment():
+    dataset = reference_dataset()
+    injector = IrrelevantAttributesInjector(max_added=max(ADDED))
+    n_original_features = len(dataset.feature_columns())
+    rows = []
+    for added in ADDED:
+        severity = added / max(ADDED)
+        wide = dataset if added == 0 else injector.apply(dataset, severity, seed=2)
+        variants = {
+            "raw": wide,
+            "pca": PCATransformer(n_components=n_original_features).fit_transform(wide),
+            "select": select_features(wide, k=n_original_features),
+        }
+        for strategy, variant in variants.items():
+            for algorithm in ALGORITHMS:
+                accuracy = cross_validate(CLASSIFIER_REGISTRY[algorithm], variant, k=3).accuracy
+                rows.append([added, strategy, algorithm, accuracy])
+    return rows
+
+
+@pytest.mark.benchmark(group="phase1")
+def test_p1_dimensionality(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "EXP-P1-DIMENSIONALITY: accuracy by added irrelevant attributes and reduction strategy",
+        ["added_dims", "strategy", "algorithm", "accuracy"],
+        rows,
+    )
+
+    def accuracy_of(added, strategy, algorithm):
+        return next(r[3] for r in rows if r[0] == added and r[1] == strategy and r[2] == algorithm)
+
+    # k-NN on raw data degrades as dimensions are added.
+    assert accuracy_of(max(ADDED), "raw", "knn") <= accuracy_of(0, "raw", "knn") + 0.02
+    # Feature selection on the widest variant is at least as good as raw k-NN.
+    assert accuracy_of(max(ADDED), "select", "knn") >= accuracy_of(max(ADDED), "raw", "knn") - 0.05
+    knn_drop_raw = accuracy_of(0, "raw", "knn") - accuracy_of(max(ADDED), "raw", "knn")
+    knn_drop_select = accuracy_of(0, "select", "knn") - accuracy_of(max(ADDED), "select", "knn")
+    benchmark.extra_info["knn_drop_raw"] = knn_drop_raw
+    benchmark.extra_info["knn_drop_select"] = knn_drop_select

@@ -1,0 +1,48 @@
+"""EXP-P1-NOISE — Phase 1, accuracy/noise criterion (attribute noise and class noise).
+
+Expected shape: every classifier loses accuracy as noise grows; class (label)
+noise hurts more than attribute noise at the same rate, and the decision tree
+is hit hard by label noise while naive Bayes degrades more gracefully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._sweep import sensitivity_sweep, sweep_rows
+from benchmarks.conftest import FAST_ALGORITHMS, print_table, reference_dataset
+
+SEVERITIES = (0.0, 0.1, 0.2, 0.3)
+
+
+def run_sweeps():
+    dataset = reference_dataset()
+    attribute = sensitivity_sweep(dataset, "accuracy", SEVERITIES, FAST_ALGORITHMS)
+    label = sensitivity_sweep(dataset, "class_noise", SEVERITIES, FAST_ALGORITHMS)
+    return attribute, label
+
+
+@pytest.mark.benchmark(group="phase1")
+def test_p1_noise(benchmark):
+    attribute, label = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    print_table(
+        "EXP-P1-NOISE (attribute noise): accuracy vs noise rate",
+        ["algorithm"] + [f"noise={s:.0%}" for s in SEVERITIES],
+        sweep_rows(attribute),
+    )
+    print_table(
+        "EXP-P1-NOISE (class/label noise): accuracy vs noise rate",
+        ["algorithm"] + [f"noise={s:.0%}" for s in SEVERITIES],
+        sweep_rows(label),
+    )
+
+    worst_severity = max(SEVERITIES)
+    for algorithm in FAST_ALGORITHMS:
+        assert attribute[algorithm][worst_severity] <= attribute[algorithm][0.0] + 0.03
+        assert label[algorithm][worst_severity] <= label[algorithm][0.0] + 0.03
+    # label noise is at least as damaging as attribute noise on average
+    mean_attribute_drop = sum(attribute[a][0.0] - attribute[a][worst_severity] for a in FAST_ALGORITHMS)
+    mean_label_drop = sum(label[a][0.0] - label[a][worst_severity] for a in FAST_ALGORITHMS)
+    benchmark.extra_info["mean_attribute_drop"] = mean_attribute_drop / len(FAST_ALGORITHMS)
+    benchmark.extra_info["mean_label_drop"] = mean_label_drop / len(FAST_ALGORITHMS)
+    assert mean_label_drop >= mean_attribute_drop - 0.05

@@ -1,0 +1,65 @@
+"""EXP-P2-MIXED — Phase 2, mixed data quality criteria.
+
+Pairs of criteria are injected together and compared with each criterion alone.
+Expected shape: combined degradations hurt at least as much as the worse of the
+two individual ones, and for some pairs (missing values + class imbalance) the
+interaction is super-additive.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import FAST_ALGORITHMS, print_table, reference_dataset
+from repro.core.injection import apply_injections
+from repro.mining import CLASSIFIER_REGISTRY, cross_validate
+
+CRITERIA = ("completeness", "accuracy", "balance")
+SEVERITY = 0.3
+
+
+def _mean_accuracy(dataset) -> float:
+    scores = [cross_validate(CLASSIFIER_REGISTRY[name], dataset, k=3).accuracy for name in FAST_ALGORITHMS]
+    return sum(scores) / len(scores)
+
+
+def run_experiment():
+    dataset = reference_dataset(n_rows=180)
+    clean = _mean_accuracy(dataset)
+    single = {
+        criterion: _mean_accuracy(apply_injections(dataset, {criterion: SEVERITY}, seed=1))
+        for criterion in CRITERIA
+    }
+    rows = [["clean", "-", clean, 0.0]]
+    for criterion, score in single.items():
+        rows.append([criterion, "-", score, clean - score])
+    pair_rows = []
+    for a, b in itertools.combinations(CRITERIA, 2):
+        combined = _mean_accuracy(apply_injections(dataset, {a: SEVERITY, b: SEVERITY}, seed=2))
+        pair_rows.append([a, b, combined, clean - combined, min(single[a], single[b]) - combined])
+        rows.append([a, b, combined, clean - combined])
+    return clean, single, rows, pair_rows
+
+
+@pytest.mark.benchmark(group="phase2")
+def test_p2_mixed(benchmark):
+    clean, single, rows, pair_rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "EXP-P2-MIXED: mean accuracy (4 classifiers) for single and mixed degradations",
+        ["criterion_a", "criterion_b", "mean_accuracy", "drop_vs_clean"],
+        rows,
+    )
+    print_table(
+        "EXP-P2-MIXED: interaction effect (positive = worse than the worst single criterion)",
+        ["criterion_a", "criterion_b", "mean_accuracy", "drop_vs_clean", "extra_drop_vs_worst_single"],
+        pair_rows,
+    )
+
+    # Every single degradation hurts relative to clean data.
+    assert all(score <= clean + 0.02 for score in single.values())
+    # Every pair hurts at least roughly as much as the worse of its two parts.
+    for _, _, combined, _, extra in pair_rows:
+        assert extra >= -0.08
+    benchmark.extra_info["max_interaction_effect"] = max(row[4] for row in pair_rows)

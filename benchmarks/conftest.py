@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a figure's pipeline or
+one of the §3.1 experiment tables) and prints the resulting rows/series, so
+running ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExperimentPlan, ExperimentRunner, UserProfile
+from repro.datasets import make_classification_dataset, municipal_budget
+
+#: Algorithms compared across all experiment benchmarks.
+BENCH_ALGORITHMS = ("decision_tree", "naive_bayes", "knn", "logistic_regression", "one_r", "prism")
+
+#: Smaller subset used where the full set would make the benchmark too slow.
+FAST_ALGORITHMS = ("decision_tree", "naive_bayes", "knn", "one_r")
+
+
+def reference_dataset(n_rows: int = 150, seed: int = 0):
+    """The clean reference sample every Phase-1/Phase-2 experiment starts from."""
+    return make_classification_dataset(n_rows=n_rows, n_numeric=4, n_categorical=2, seed=seed)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print an aligned results table (the rows the paper's tables would hold)."""
+    rendered = [[f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    print("  ".join("-" * widths[i] for i in range(len(header))))
+    for cells in rendered:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)))
+
+
+@pytest.fixture(scope="session")
+def bench_knowledge_base():
+    """A knowledge base shared by the Figure-2 / advisor / ablation benchmarks."""
+    runner = ExperimentRunner(
+        profile=UserProfile(name="bench", algorithms=FAST_ALGORITHMS, cv_folds=3),
+        plan=ExperimentPlan(
+            criteria=("completeness", "accuracy", "balance", "correlation", "dimensionality"),
+            simple_severities=(0.0, 0.2, 0.4),
+            mixed_severity=0.25,
+        ),
+    )
+    datasets = [reference_dataset(seed=0), municipal_budget(n_rows=150, seed=1)]
+    return runner.run(datasets)

@@ -1,0 +1,66 @@
+"""Linked Open Data round trip: integrate, link, represent, annotate, share.
+
+Run with ``python examples/lod_publishing_roundtrip.py``.
+
+Two open data sources describe (partly) the same districts.  The script
+
+1. publishes both as LOD graphs and discovers ``owl:sameAs`` links;
+2. merges them and pivots the linked graph into a high-dimensional dataset;
+3. builds the CWM-like common representation and annotates it with measured
+   data quality criteria (the paper's §3.2);
+4. serialises the annotated model and shares the quality measurements as LOD
+   (Turtle) so any other citizen can reuse them.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import air_quality, civic_lod_graph, service_requests
+from repro.datasets.civic import CIVIC
+from repro.lod import EntityLinker, LinkRule, publish_quality_profile, to_turtle
+from repro.lod.tabulate import dimensionality_report, tabulate_entities
+from repro.metamodel import annotate_quality, model_from_lod, model_to_xmi, read_quality_annotations
+from repro.quality import measure_quality
+
+
+def main() -> None:
+    # 1. Two sources published as LOD.
+    air = civic_lod_graph(air_quality(n_rows=120, seed=1), entity_class="AirQualityReading")
+    requests = civic_lod_graph(service_requests(n_rows=120, seed=3), entity_class="ServiceRequest")
+    print(f"air-quality graph: {len(air)} triples; service-request graph: {len(requests)} triples")
+
+    linker = EntityLinker([LinkRule(CIVIC["district"], CIVIC["district"])], threshold=0.99)
+    links = linker.link(air, CIVIC.AirQualityReading, requests, CIVIC.ServiceRequest)
+    merged = air.copy("http://openbi.example.org/civic/graph/merged")
+    merged.merge(requests)
+    linker.materialise(merged, links)
+    print(f"entity links discovered: {len(links)}; merged graph: {len(merged)} triples")
+
+    # 2. Pivot the linked graph into a mining-ready table.
+    report = dimensionality_report(merged, CIVIC.AirQualityReading)
+    table = tabulate_entities(merged, CIVIC.AirQualityReading, follow_same_as=True)
+    print(
+        f"tabulated {int(report['n_entities'])} entities x {int(report['n_properties'])} properties "
+        f"(sparsity {report['sparsity']:.2f}) -> dataset {table.shape}"
+    )
+
+    # 3. Common representation + data quality annotation.
+    catalog = model_from_lod(merged)
+    quality = measure_quality(table)
+    table_model = catalog.find_table("AirQualityReading")
+    annotate_quality(table_model, quality)
+    print("\nquality annotations on the common representation:")
+    for key, value in sorted(read_quality_annotations(table_model).items()):
+        print(f"  dq:{key:<16} {value:.3f}")
+
+    xmi = model_to_xmi(catalog)
+    print(f"\nXMI serialisation of the annotated model: {len(xmi.splitlines())} lines")
+
+    # 4. Share the measurements as LOD.
+    shared = publish_quality_profile(quality, "air-quality-merged")
+    turtle = to_turtle(shared)
+    print(f"published {len(shared)} quality triples; Turtle excerpt:\n")
+    print("\n".join(turtle.splitlines()[:15]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Open budget analysis: OLAP, association rules and a citizen dashboard.
+
+Run with ``python examples/open_budget_analysis.py``.
+
+A citizen wants to understand the municipal budget: which districts and
+categories overrun, whether there are systematic patterns, and publish the
+findings back as Linked Open Data for others to reuse.
+"""
+
+from __future__ import annotations
+
+from repro.bi import Cube, Dashboard, Dimension, KPI, Measure, share_cube_as_lod
+from repro.datasets import municipal_budget
+from repro.lod import to_turtle
+from repro.lod.publish import publish_patterns
+from repro.mining import Apriori, dataset_to_transactions
+from repro.quality import measure_quality
+
+
+def main() -> None:
+    budget = municipal_budget(n_rows=360, seed=7)
+
+    # OLAP: budget execution by district and category.
+    cube = Cube(
+        budget,
+        dimensions=[
+            Dimension("district", ("district",)),
+            Dimension("category", ("category",)),
+            Dimension("year", ("year",)),
+        ],
+        measures=[
+            Measure("total_budgeted", "budgeted", "sum"),
+            Measure("total_executed", "executed", "sum"),
+            Measure("mean_execution_rate", "execution_rate", "mean"),
+        ],
+    )
+    by_category = cube.aggregate(["category"])
+    print("Budget execution by category:")
+    for row in by_category.iter_rows():
+        print(
+            f"  {row['category']:<12} budgeted {row['total_budgeted'] / 1e6:7.2f} M€   "
+            f"executed {row['total_executed'] / 1e6:7.2f} M€   "
+            f"rate {row['mean_execution_rate']:.2f}"
+        )
+
+    # Association rules over the categorical view of the budget.
+    transactions = dataset_to_transactions(
+        budget.drop_columns(["line_id", "budgeted", "executed"]), bins=3
+    )
+    apriori = Apriori(min_support=0.05, min_confidence=0.65).fit(transactions)
+    rules = [rule for rule in apriori.rules() if "overrun=yes" in rule.consequent or "overrun=no" in rule.consequent]
+    print(f"\nAssociation rules about overruns ({len(rules)} found):")
+    for rule in rules[:8]:
+        print(f"  {rule.as_text()}")
+
+    # A dashboard for the citizen.
+    dashboard = (
+        Dashboard("Municipal budget 2008-2011")
+        .add_kpi_panel(
+            "Key indicators",
+            [
+                KPI("mean execution rate", "execution_rate", target=1.0, higher_is_better=False, tolerance=0.1),
+                KPI("mean budgeted per line (EUR)", "budgeted", target=1_200_000, higher_is_better=False, tolerance=0.5),
+            ],
+            budget,
+        )
+        .add_quality_panel("Data quality of the source", measure_quality(budget))
+        .add_cube_panel("Execution by district", cube, ["district"])
+        .add_table_panel("Execution by category", by_category)
+    )
+    print("\n" + "=" * 70)
+    print(dashboard.render()[:1200] + "\n...")
+
+    # Share the aggregation and the mined rules back as LOD.
+    shared = share_cube_as_lod(cube, ["district"])
+    shared = publish_patterns([rule.as_dict() for rule in rules[:8]], "municipal-budget", "apriori", graph=shared)
+    turtle = to_turtle(shared)
+    print("=" * 70)
+    print(f"Published {len(shared)} triples back as LOD; Turtle excerpt:\n")
+    print("\n".join(turtle.splitlines()[:20]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""OpenBI: data-quality-aware, user-friendly data mining over Linked Open Data.
+
+This package reproduces the framework described in the position paper
+*"Open Business Intelligence: on the importance of data quality awareness in
+user-friendly data mining"* (Mazón, Zubcoff, Garrigós, Espinosa, Rodríguez;
+LWDM workshop @ EDBT 2012).
+
+The library is organised in layers, bottom-up:
+
+``repro.tabular``
+    A typed, column-oriented dataset substrate (CSV/XML/HTML/JSON ingestion,
+    relational transforms, descriptive statistics) built on numpy only.
+``repro.lod``
+    A Linked Open Data substrate: RDF terms, an indexed triple store, a small
+    SPARQL-like query engine, Turtle/N-Triples serialisation, entity linking
+    and a "tabulate" step that pivots a LOD graph into a high-dimensional
+    dataset ready for mining.
+``repro.metamodel``
+    A CWM-like common representation of data sources (Catalog → Schema →
+    Table → Column) that can be annotated with measured data quality criteria.
+``repro.quality``
+    Data quality criteria measurement: completeness, accuracy/noise,
+    consistency, duplicates, correlation, class balance, dimensionality and
+    outliers, aggregated into a :class:`~repro.quality.profile.DataQualityProfile`.
+``repro.mining``
+    From-scratch data mining algorithms (decision tree, naive Bayes, k-NN,
+    logistic regression, rule induction, Apriori, k-means, agglomerative
+    clustering, PCA, regression tree) with metrics and validation utilities.
+``repro.core``
+    The paper's primary contribution: controlled data-quality problem
+    injection, the two-phase experiment campaign, the DQ4DM knowledge base and
+    the advisor that recommends the most appropriate mining algorithm for a
+    source given its measured data quality.
+``repro.bi``
+    The OpenBI front end: OLAP cubes, reports, dashboards, KPIs and sharing of
+    results back as Linked Open Data.
+``repro.datasets``
+    Deterministic synthetic open-data generators (municipal budget, air
+    quality, census, service requests) used as stand-ins for real LOD sources.
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    ReproError,
+    SchemaError,
+    DataQualityError,
+    MiningError,
+    ExperimentError,
+    KnowledgeBaseError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SchemaError",
+    "DataQualityError",
+    "MiningError",
+    "ExperimentError",
+    "KnowledgeBaseError",
+]

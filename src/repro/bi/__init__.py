@@ -1,0 +1,31 @@
+"""The OpenBI front end: OLAP, reporting, dashboards, KPIs and LOD sharing.
+
+The paper positions OpenBI as giving citizens "reporting, OLAP analysis,
+dashboards or data mining" over LOD, plus the ability to share what they learn
+back as LOD.  This subpackage implements those user-facing pieces on top of
+the tabular, quality, mining and core layers.
+"""
+
+from repro.bi.olap import Cube, Dimension, Measure
+from repro.bi.reporting import Report, dataset_to_table_text
+from repro.bi.kpi import KPI, evaluate_kpis
+from repro.bi.dashboard import Dashboard
+from repro.bi.charts import bar_chart, series_chart, sparkline
+from repro.bi.sharing import share_report_as_lod, share_cube_as_lod, share_recommendation_as_lod
+
+__all__ = [
+    "Cube",
+    "Dimension",
+    "Measure",
+    "Report",
+    "dataset_to_table_text",
+    "KPI",
+    "evaluate_kpis",
+    "Dashboard",
+    "bar_chart",
+    "series_chart",
+    "sparkline",
+    "share_report_as_lod",
+    "share_cube_as_lod",
+    "share_recommendation_as_lod",
+]

@@ -1,0 +1,97 @@
+"""Plain-text charts for user-friendly reports and dashboards.
+
+The OpenBI front end targets citizens reading reports in a browser or a
+terminal; these helpers render the two chart types the benchmarks and
+dashboards need — horizontal bar charts for categorical breakdowns and simple
+line/series charts for severity sweeps — without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    title: str | None = None,
+    sort: bool = True,
+    fill: str = "#",
+) -> str:
+    """Render a horizontal bar chart of label → value.
+
+    Bars are scaled to the maximum absolute value; negative values are drawn
+    with ``-`` so budget deficits and quality drops stay visible.
+    """
+    if not values:
+        raise ReproError("bar_chart needs at least one value")
+    if width < 5:
+        raise ReproError("width must be at least 5")
+    items = list(values.items())
+    if sort:
+        items.sort(key=lambda kv: -kv[1])
+    peak = max(abs(v) for _, v in items) or 1.0
+    label_width = max(len(str(label)) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        length = int(round(abs(value) / peak * width))
+        bar = (fill if value >= 0 else "-") * length
+        lines.append(f"{str(label).ljust(label_width)}  {bar} {value:.3g}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 50,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render several named (x → y) series as an ASCII scatter/line chart.
+
+    Each series is drawn with its own symbol; the legend maps symbols back to
+    names.  Intended for the Phase-1 sensitivity sweeps (severity on the x
+    axis, accuracy on the y axis).
+    """
+    if not series:
+        raise ReproError("series_chart needs at least one series")
+    symbols = "ox+*@%&$"
+    xs = sorted({x for points in series.values() for x in points})
+    ys = [y for points in series.values() for y in points.values()]
+    if not xs or not ys:
+        raise ReproError("series_chart needs at least one point")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for index, (name, points) in enumerate(sorted(series.items())):
+        symbol = symbols[index % len(symbols)]
+        for x, y in points.items():
+            column = int(round((x - x_low) / x_span * width))
+            row = height - int(round((y - y_low) / y_span * height))
+            grid[row][column] = symbol
+
+    lines = [title] if title else []
+    lines.append(f"{y_high:8.3f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_low:8.3f} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"{x_low:<10.3g}" + " " * max(width - 20, 0) + f"{x_high:>10.3g}")
+    legend = "   ".join(
+        f"{symbols[i % len(symbols)]} = {name}" for i, name in enumerate(sorted(series))
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a compact one-line trend (used in dashboard KPI panels)."""
+    if not values:
+        raise ReproError("sparkline needs at least one value")
+    blocks = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(blocks[int((v - low) / span * (len(blocks) - 1))] for v in values)

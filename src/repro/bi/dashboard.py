@@ -1,0 +1,94 @@
+"""Dashboards: composed views of KPIs, quality, OLAP summaries and advice."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bi.kpi import KPI, evaluate_kpis
+from repro.bi.olap import Cube
+from repro.bi.reporting import Report, dataset_to_table_text
+from repro.core.advisor import Recommendation
+from repro.quality.profile import DataQualityProfile
+from repro.quality.report import quality_report
+from repro.tabular.dataset import Dataset
+
+
+@dataclass
+class Dashboard:
+    """A citizen-facing dashboard for one (or more) open data sources.
+
+    Panels are added with the ``add_*`` methods and the whole dashboard is
+    rendered as Markdown (the format a thin web front end would consume).
+    """
+
+    title: str
+    _panels: list[tuple[str, str]] = field(default_factory=list)
+
+    def add_kpi_panel(self, title: str, kpis: Sequence[KPI], dataset: Dataset) -> "Dashboard":
+        """Evaluate KPIs on a dataset and add a traffic-light panel."""
+        statuses = evaluate_kpis(kpis, dataset)
+        lines = []
+        for status in statuses:
+            icon = {"good": "[OK]", "warning": "[!]", "bad": "[X]"}[status["status"]]
+            lines.append(
+                f"{icon} **{status['kpi']}**: {status['value']:.3f} "
+                f"(target {'>=' if status['higher_is_better'] else '<='} {status['target']:.3f})"
+            )
+        self._panels.append((title, "\n".join(lines)))
+        return self
+
+    def add_quality_panel(self, title: str, profile: DataQualityProfile, reference: DataQualityProfile | None = None) -> "Dashboard":
+        """Add the data quality report of a source."""
+        self._panels.append((title, quality_report(profile, reference=reference, fmt="markdown")))
+        return self
+
+    def add_cube_panel(self, title: str, cube: Cube, levels: Sequence[str]) -> "Dashboard":
+        """Add an OLAP aggregation of the cube grouped by the given levels."""
+        aggregated = cube.aggregate(list(levels))
+        self._panels.append((title, dataset_to_table_text(aggregated, fmt="markdown")))
+        return self
+
+    def add_recommendation_panel(self, title: str, recommendation: Recommendation) -> "Dashboard":
+        """Add the advisor's recommendation for a source."""
+        lines = [
+            f"**Recommended algorithm:** `{recommendation.best_algorithm}` "
+            f"(expected score {recommendation.expected_score:.3f})",
+            "",
+            recommendation.rationale,
+            "",
+            "| algorithm | expected score |",
+            "|---|---|",
+        ]
+        lines.extend(f"| {name} | {score:.3f} |" for name, score in recommendation.ranked_algorithms)
+        self._panels.append((title, "\n".join(lines)))
+        return self
+
+    def add_table_panel(self, title: str, dataset: Dataset, max_rows: int = 15) -> "Dashboard":
+        """Add a raw table panel (e.g. mined rules or cluster summaries)."""
+        self._panels.append((title, dataset_to_table_text(dataset, max_rows=max_rows, fmt="markdown")))
+        return self
+
+    def add_text_panel(self, title: str, text: str) -> "Dashboard":
+        """Add a free-text panel."""
+        self._panels.append((title, text))
+        return self
+
+    @property
+    def panel_titles(self) -> list[str]:
+        return [title for title, _ in self._panels]
+
+    def render(self) -> str:
+        """Render the dashboard as a Markdown document."""
+        lines = [f"# {self.title}", ""]
+        for title, body in self._panels:
+            lines.extend([f"## {title}", "", body, ""])
+        return "\n".join(lines)
+
+    def to_report(self) -> Report:
+        """Convert the dashboard into a :class:`~repro.bi.reporting.Report`."""
+        report = Report(self.title)
+        for title, body in self._panels:
+            report.add_text(title, body)
+        return report

@@ -1,0 +1,62 @@
+"""Key performance indicators for dashboards."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ReproError
+from repro.tabular.dataset import Dataset
+from repro.tabular.stats import numeric_summary
+
+
+@dataclass(frozen=True)
+class KPI:
+    """A named indicator computed from a dataset.
+
+    ``compute`` is either the name of a numeric column (its mean is used) or a
+    callable ``dataset → float``.  The status is ``good`` when the value is on
+    the right side of ``target`` (per ``higher_is_better``), ``warning`` when
+    within ``tolerance`` of it, ``bad`` otherwise.
+    """
+
+    name: str
+    compute: str | Callable[[Dataset], float]
+    target: float
+    higher_is_better: bool = True
+    tolerance: float = 0.1
+    description: str = ""
+
+    def value(self, dataset: Dataset) -> float:
+        if callable(self.compute):
+            return float(self.compute(dataset))
+        if self.compute not in dataset:
+            raise ReproError(f"KPI {self.name!r} references unknown column {self.compute!r}")
+        return float(numeric_summary(dataset[self.compute])["mean"])
+
+    def status(self, dataset: Dataset) -> dict[str, Any]:
+        """Evaluate the KPI and return value, target and traffic-light status."""
+        value = self.value(dataset)
+        if self.higher_is_better:
+            good = value >= self.target
+            warning = value >= self.target * (1.0 - self.tolerance)
+        else:
+            good = value <= self.target
+            warning = value <= self.target * (1.0 + self.tolerance)
+        label = "good" if good else ("warning" if warning else "bad")
+        return {
+            "kpi": self.name,
+            "value": value,
+            "target": self.target,
+            "status": label,
+            "higher_is_better": self.higher_is_better,
+            "description": self.description,
+        }
+
+
+def evaluate_kpis(kpis: Sequence[KPI], dataset: Dataset) -> list[dict[str, Any]]:
+    """Evaluate a list of KPIs against one dataset."""
+    if not kpis:
+        raise ReproError("no KPIs to evaluate")
+    return [kpi.status(dataset) for kpi in kpis]

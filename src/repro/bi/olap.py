@@ -1,0 +1,178 @@
+"""A small OLAP engine over :class:`~repro.tabular.dataset.Dataset`.
+
+A :class:`Cube` is defined by dimensions (categorical columns, optionally with
+a level hierarchy) and measures (numeric columns with an aggregation).  The
+classic operations — roll-up, drill-down, slice, dice and pivot — all return
+ordinary datasets so their results can be reported, mined or shared as LOD.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import OLAPError
+from repro.tabular.dataset import Dataset, is_missing_value
+from repro.tabular.transforms import group_by
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A cube dimension.
+
+    ``levels`` orders the columns from coarsest to finest (e.g. ``["year"]``
+    or ``["district"]``); a single-column dimension is the common case.
+    """
+
+    name: str
+    levels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise OLAPError(f"dimension {self.name!r} needs at least one level")
+
+    @property
+    def finest_level(self) -> str:
+        return self.levels[-1]
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A cube measure: a numeric source column and an aggregation function."""
+
+    name: str
+    column: str
+    aggregation: str = "sum"
+
+    def __post_init__(self) -> None:
+        if self.aggregation not in ("sum", "mean", "min", "max", "count", "std", "median"):
+            raise OLAPError(f"unsupported aggregation {self.aggregation!r} for measure {self.name!r}")
+
+
+class Cube:
+    """A multidimensional view over a dataset."""
+
+    def __init__(self, dataset: Dataset, dimensions: Sequence[Dimension], measures: Sequence[Measure], name: str | None = None) -> None:
+        if not dimensions:
+            raise OLAPError("a cube needs at least one dimension")
+        if not measures:
+            raise OLAPError("a cube needs at least one measure")
+        for dimension in dimensions:
+            for level in dimension.levels:
+                if level not in dataset:
+                    raise OLAPError(f"dimension level {level!r} is not a column of {dataset.name!r}")
+        for measure in measures:
+            if measure.column not in dataset:
+                raise OLAPError(f"measure column {measure.column!r} is not a column of {dataset.name!r}")
+            if not dataset[measure.column].is_numeric():
+                raise OLAPError(f"measure column {measure.column!r} must be numeric")
+        self.dataset = dataset
+        self.dimensions = list(dimensions)
+        self.measures = list(measures)
+        self.name = name or f"{dataset.name}_cube"
+
+    # -- helpers --------------------------------------------------------------
+
+    def dimension(self, name: str) -> Dimension:
+        for dimension in self.dimensions:
+            if dimension.name == name:
+                return dimension
+        raise OLAPError(f"cube {self.name!r} has no dimension {name!r}")
+
+    def _aggregations(self) -> dict[str, tuple[str, str]]:
+        return {measure.name: (measure.column, measure.aggregation) for measure in self.measures}
+
+    # -- core operations ----------------------------------------------------------
+
+    def aggregate(self, levels: Sequence[str] | None = None) -> Dataset:
+        """Aggregate the measures grouped by the given dimension levels.
+
+        With no levels, the grand total (one row) is returned.
+        """
+        if levels:
+            for level in levels:
+                if level not in self.dataset:
+                    raise OLAPError(f"unknown group-by level {level!r}")
+            return group_by(self.dataset, list(levels), self._aggregations())
+        # Grand total: group by a constant pseudo-column.
+        rows = [{"all": "all"}]
+        working = self.dataset.add_column(
+            type(self.dataset.columns[0])("__all__", ["all"] * self.dataset.n_rows)
+        )
+        result = group_by(working, ["__all__"], self._aggregations())
+        return result.drop_columns(["__all__"]) if result.n_columns > 1 else result
+
+    def rollup(self, dimension_name: str, to_level: str | None = None) -> Dataset:
+        """Aggregate along one dimension at a coarser level (default: coarsest)."""
+        dimension = self.dimension(dimension_name)
+        level = to_level or dimension.levels[0]
+        if level not in dimension.levels:
+            raise OLAPError(f"{level!r} is not a level of dimension {dimension_name!r}")
+        return self.aggregate([level])
+
+    def drill_down(self, dimension_name: str, to_level: str | None = None) -> Dataset:
+        """Aggregate along one dimension at a finer level (default: finest)."""
+        dimension = self.dimension(dimension_name)
+        level = to_level or dimension.finest_level
+        if level not in dimension.levels:
+            raise OLAPError(f"{level!r} is not a level of dimension {dimension_name!r}")
+        return self.aggregate([level])
+
+    def slice(self, level: str, value: Any) -> "Cube":
+        """Fix one dimension level to a value and return the sub-cube."""
+        if level not in self.dataset:
+            raise OLAPError(f"unknown level {level!r}")
+        filtered = self.dataset.filter(lambda row: not is_missing_value(row[level]) and row[level] == value)
+        return Cube(filtered, self.dimensions, self.measures, name=f"{self.name}_slice_{level}")
+
+    def dice(self, selections: Mapping[str, Sequence[Any]]) -> "Cube":
+        """Keep only the rows whose level values are in the given sets."""
+        for level in selections:
+            if level not in self.dataset:
+                raise OLAPError(f"unknown level {level!r}")
+
+        def keep(row: dict[str, Any]) -> bool:
+            for level, allowed in selections.items():
+                if is_missing_value(row[level]) or row[level] not in allowed:
+                    return False
+            return True
+
+        return Cube(self.dataset.filter(keep), self.dimensions, self.measures, name=f"{self.name}_dice")
+
+    def pivot(self, row_level: str, column_level: str, measure_name: str | None = None) -> Dataset:
+        """Cross-tabulate one measure over two dimension levels."""
+        measure = self.measures[0] if measure_name is None else next(
+            (m for m in self.measures if m.name == measure_name), None
+        )
+        if measure is None:
+            raise OLAPError(f"no measure named {measure_name!r}")
+        grouped = group_by(self.dataset, [row_level, column_level], {measure.name: (measure.column, measure.aggregation)})
+        row_values = grouped[row_level].distinct()
+        column_values = grouped[column_level].distinct()
+        lookup = {}
+        for row in grouped.iter_rows():
+            lookup[(row[row_level], row[column_level])] = row[measure.name]
+        out_rows = []
+        for rv in row_values:
+            out = {row_level: rv}
+            for cv in column_values:
+                out[f"{column_level}={cv}"] = lookup.get((rv, cv))
+            out_rows.append(out)
+        return Dataset.from_rows(out_rows, name=f"{self.name}_pivot")
+
+    def measure_summary(self) -> dict[str, dict[str, float]]:
+        """Grand-total value of every measure plus simple per-measure statistics."""
+        totals = self.aggregate()
+        summary: dict[str, dict[str, float]] = {}
+        from repro.tabular.stats import numeric_summary
+
+        for measure in self.measures:
+            stats = numeric_summary(self.dataset[measure.column])
+            summary[measure.name] = {
+                "aggregated": float(totals[measure.name][0]),
+                "mean": stats["mean"],
+                "min": stats["min"],
+                "max": stats["max"],
+            }
+        return summary

@@ -1,0 +1,63 @@
+"""Sharing OpenBI artefacts back as Linked Open Data.
+
+Closing the loop of the paper's §1: after analysing LOD, the citizen shares
+"the new acquired information as LOD to be reused by anyone".  These helpers
+publish reports, OLAP aggregations and algorithm recommendations through the
+:mod:`repro.lod.publish` vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bi.olap import Cube
+from repro.bi.reporting import Report
+from repro.core.advisor import Recommendation
+from repro.lod.graph import Graph
+from repro.lod.publish import publish_dataset, publish_recommendation
+from repro.lod.terms import IRI, Literal
+from repro.lod.vocabulary import DCTERMS, OPENBI, RDF, RDFS
+
+
+def share_report_as_lod(report: Report, base_iri: str = "http://openbi.example.org/data/", graph: Graph | None = None) -> Graph:
+    """Publish a report's structure (title + section titles) as LOD."""
+    graph = graph or Graph(f"{base_iri}graph/report")
+    slug = "".join(ch if ch.isalnum() else "-" for ch in report.title.lower()).strip("-") or "report"
+    report_iri = IRI(f"{base_iri}report/{slug}")
+    graph.add(report_iri, RDF.type, OPENBI.Report)
+    graph.add(report_iri, DCTERMS.title, Literal(report.title))
+    for index, section in enumerate(report.sections):
+        section_iri = IRI(f"{base_iri}report/{slug}/section/{index}")
+        graph.add(section_iri, RDF.type, OPENBI.ReportSection)
+        graph.add(section_iri, DCTERMS.isPartOf, report_iri)
+        graph.add(section_iri, DCTERMS.title, Literal(section.title))
+        graph.add(section_iri, OPENBI.sectionKind, Literal(section.kind))
+    return graph
+
+
+def share_cube_as_lod(
+    cube: Cube,
+    levels: Sequence[str],
+    base_iri: str = "http://openbi.example.org/data/",
+    graph: Graph | None = None,
+) -> Graph:
+    """Publish an OLAP aggregation of the cube as a ``qb`` data cube."""
+    aggregated = cube.aggregate(list(levels))
+    aggregated.name = f"{cube.name}-by-{'-'.join(levels)}"
+    return publish_dataset(aggregated, base_iri=base_iri, graph=graph, title=aggregated.name)
+
+
+def share_recommendation_as_lod(
+    recommendation: Recommendation,
+    base_iri: str = "http://openbi.example.org/data/",
+    graph: Graph | None = None,
+) -> Graph:
+    """Publish an advisor recommendation (and its rationale) as LOD."""
+    return publish_recommendation(
+        dataset_name=recommendation.dataset,
+        algorithm=recommendation.best_algorithm,
+        score=recommendation.expected_score,
+        rationale=recommendation.rationale,
+        base_iri=base_iri,
+        graph=graph,
+    )

@@ -1,0 +1,14 @@
+"""Command-line interface for the OpenBI workflows.
+
+The CLI exposes the citizen-facing loop of the paper without writing any
+Python: profile the quality of an open data file, run the experiment campaign
+that builds a DQ4DM knowledge base, ask for algorithm advice, mine a file with
+a chosen algorithm, derive guidance rules and publish data as Linked Open
+Data.
+
+Run ``python -m repro.cli --help`` for the command overview.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,286 @@
+"""Argument parsing and command implementations for the OpenBI CLI.
+
+Each subcommand is a thin orchestration of the library's public API; the heavy
+lifting (quality measurement, experiments, advice, mining, publishing) lives in
+the corresponding subpackages so everything here is easy to test by calling
+:func:`main` with an argument list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core import Advisor, ExperimentPlan, ExperimentRunner, KnowledgeBase, UserProfile, derive_guidance_rules
+from repro.core.rules import guidance_report
+from repro.datasets import CIVIC_GENERATORS
+from repro.exceptions import ReproError
+from repro.lod import to_ntriples, to_turtle
+from repro.lod.publish import publish_dataset, publish_quality_profile
+from repro.mining import CLASSIFIER_REGISTRY
+from repro.mining.validation import cross_validate, holdout_evaluate, train_test_split
+from repro.quality import measure_quality, quality_report
+from repro.tabular import read_csv
+from repro.tabular.dataset import ColumnRole, Dataset
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _load_dataset(path: str, target: str | None, identifier: str | None) -> Dataset:
+    """Load a CSV file and apply the requested column roles."""
+    dataset = read_csv(Path(path))
+    if target is not None:
+        if target not in dataset:
+            raise ReproError(f"target column {target!r} not found in {path}")
+        dataset = dataset.set_target(target)
+    if identifier is not None:
+        if identifier not in dataset:
+            raise ReproError(f"identifier column {identifier!r} not found in {path}")
+        dataset = dataset.set_role(identifier, ColumnRole.IDENTIFIER)
+    return dataset
+
+
+def _parse_list(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _parse_severities(text: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.data, args.target, args.identifier)
+    reference = None
+    if args.reference:
+        reference_dataset = _load_dataset(args.reference, args.target, args.identifier)
+        reference = measure_quality(reference_dataset)
+    profile = measure_quality(dataset)
+    if args.json:
+        print(json.dumps(profile.to_json_dict(), indent=2))
+    else:
+        print(quality_report(profile, reference=reference, fmt=args.format))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    algorithms = _parse_list(args.algorithms)
+    criteria = _parse_list(args.criteria)
+    severities = _parse_severities(args.severities)
+    profile = UserProfile(name="cli", algorithms=algorithms, cv_folds=args.folds)
+    plan = ExperimentPlan(criteria=criteria, simple_severities=severities, mixed_severity=args.mixed_severity)
+
+    datasets = []
+    if args.data:
+        datasets.append(_load_dataset(args.data, args.target, args.identifier))
+    for name in _parse_list(args.civic):
+        if name not in CIVIC_GENERATORS:
+            raise ReproError(f"unknown civic dataset {name!r}; choose from {sorted(CIVIC_GENERATORS)}")
+        datasets.append(CIVIC_GENERATORS[name](n_rows=args.rows))
+    if not datasets:
+        raise ReproError("give --data CSV and/or --civic names to experiment on")
+
+    runner = ExperimentRunner(profile, plan)
+    knowledge_base = runner.run(datasets)
+    output = Path(args.output)
+    if output.suffix == ".db":
+        knowledge_base.to_sqlite(output)
+    else:
+        knowledge_base.to_json(output)
+    summary = knowledge_base.summary()
+    print(f"knowledge base written to {output} ({summary['n_records']} records, "
+          f"{summary['n_algorithms']} algorithms, {summary['n_datasets']} datasets)")
+    return 0
+
+
+def _load_knowledge_base(path: str) -> KnowledgeBase:
+    kb_path = Path(path)
+    if not kb_path.exists():
+        raise ReproError(f"knowledge base {path} does not exist")
+    if kb_path.suffix == ".db":
+        return KnowledgeBase.from_sqlite(kb_path)
+    return KnowledgeBase.from_json(kb_path)
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    knowledge_base = _load_knowledge_base(args.knowledge_base)
+    dataset = _load_dataset(args.data, args.target, args.identifier)
+    advisor = Advisor(knowledge_base, k=args.neighbours)
+    recommendation = advisor.advise(dataset)
+    if args.json:
+        print(json.dumps(recommendation.as_dict(), indent=2))
+        return 0
+    print(f"the best option is {recommendation.best_algorithm.upper()} "
+          f"(expected score {recommendation.expected_score:.3f})")
+    print(recommendation.rationale)
+    print()
+    print("full ranking:")
+    for name, score in recommendation.ranked_algorithms:
+        print(f"  {name:<22} {score:.3f}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    knowledge_base = _load_knowledge_base(args.knowledge_base)
+    rules = derive_guidance_rules(
+        knowledge_base, threshold=args.threshold, min_observations=args.min_observations
+    )
+    print(guidance_report(rules))
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.algorithm not in CLASSIFIER_REGISTRY:
+        raise ReproError(f"unknown algorithm {args.algorithm!r}; choose from {sorted(CLASSIFIER_REGISTRY)}")
+    dataset = _load_dataset(args.data, args.target, args.identifier)
+    factory = CLASSIFIER_REGISTRY[args.algorithm]
+    if args.cross_validate:
+        result = cross_validate(factory, dataset, k=args.folds)
+    else:
+        train, test = train_test_split(dataset, test_fraction=args.test_fraction, seed=args.seed)
+        result = holdout_evaluate(factory, train, test)
+    print(f"algorithm : {result.algorithm}")
+    print(f"accuracy  : {result.accuracy:.3f}")
+    print(f"macro F1  : {result.macro_f1:.3f}")
+    print(f"kappa     : {result.kappa:.3f}")
+    if args.show_rules and args.algorithm in ("decision_tree", "prism", "one_r"):
+        model = factory().fit(dataset)
+        description = model.describe()
+        rules = description.get("rules", [])
+        if args.algorithm == "decision_tree":
+            rules = [
+                " AND ".join(rule["conditions"]) + f" => {rule['prediction']}"
+                for rule in model.extract_rules()
+            ]
+        print("\nrules:")
+        for rule in list(rules)[: args.max_rules]:
+            print(f"  {rule}")
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.data, args.target, args.identifier)
+    graph = publish_dataset(dataset, base_iri=args.base_iri)
+    if args.with_quality:
+        publish_quality_profile(measure_quality(dataset), dataset.name, base_iri=args.base_iri, graph=graph)
+    text = to_turtle(graph) if args.format == "turtle" else to_ntriples(graph)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(graph)} triples to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.tabular.io_csv import write_csv
+
+    generator = CIVIC_GENERATORS.get(args.name)
+    if generator is None:
+        raise ReproError(f"unknown civic dataset {args.name!r}; choose from {sorted(CIVIC_GENERATORS)}")
+    dataset = generator(n_rows=args.rows, seed=args.seed, dirty=args.dirty)
+    path = write_csv(dataset, args.output)
+    print(f"wrote {dataset.n_rows} rows x {dataset.n_columns} columns to {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="OpenBI: data-quality-aware, user-friendly data mining over (linked) open data.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_data_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("data", help="path to a CSV file")
+        sub.add_argument("--target", help="name of the class/target column")
+        sub.add_argument("--identifier", help="name of the identifier column")
+
+    profile = subparsers.add_parser("profile", help="measure the data quality of a CSV file")
+    add_data_arguments(profile)
+    profile.add_argument("--reference", help="CSV file of a clean reference sample to compare against")
+    profile.add_argument("--format", choices=("text", "markdown"), default="text")
+    profile.add_argument("--json", action="store_true", help="emit the raw profile as JSON")
+    profile.set_defaults(func=_cmd_profile)
+
+    experiment = subparsers.add_parser("experiment", help="run the experiment campaign and build a knowledge base")
+    experiment.add_argument("--data", help="CSV file with a clean reference sample")
+    experiment.add_argument("--target", help="target column of --data")
+    experiment.add_argument("--identifier", help="identifier column of --data")
+    experiment.add_argument("--civic", default="", help="comma-separated built-in civic datasets to include")
+    experiment.add_argument("--rows", type=int, default=200, help="rows per built-in civic dataset")
+    experiment.add_argument("--algorithms", default="decision_tree,naive_bayes,knn,one_r")
+    experiment.add_argument("--criteria", default="completeness,accuracy,balance")
+    experiment.add_argument("--severities", default="0.0,0.2,0.4")
+    experiment.add_argument("--mixed-severity", type=float, default=0.25)
+    experiment.add_argument("--folds", type=int, default=3)
+    experiment.add_argument("--output", default="dq4dm.json", help=".json or .db (SQLite) output path")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    advise = subparsers.add_parser("advise", help="recommend a mining algorithm for a CSV file")
+    advise.add_argument("knowledge_base", help="knowledge base file (.json or .db)")
+    add_data_arguments(advise)
+    advise.add_argument("--neighbours", type=int, default=7, help="nearest experiment records to average")
+    advise.add_argument("--json", action="store_true", help="emit the recommendation as JSON")
+    advise.set_defaults(func=_cmd_advise)
+
+    rules = subparsers.add_parser("rules", help="derive human-readable guidance rules from a knowledge base")
+    rules.add_argument("knowledge_base", help="knowledge base file (.json or .db)")
+    rules.add_argument("--threshold", type=float, default=0.85)
+    rules.add_argument("--min-observations", type=int, default=4)
+    rules.set_defaults(func=_cmd_rules)
+
+    mine = subparsers.add_parser("mine", help="train and evaluate one algorithm on a CSV file")
+    add_data_arguments(mine)
+    mine.add_argument("--algorithm", default="decision_tree", help=f"one of {sorted(CLASSIFIER_REGISTRY)}")
+    mine.add_argument("--cross-validate", action="store_true", help="use k-fold CV instead of a holdout split")
+    mine.add_argument("--folds", type=int, default=3)
+    mine.add_argument("--test-fraction", type=float, default=0.3)
+    mine.add_argument("--seed", type=int, default=0)
+    mine.add_argument("--show-rules", action="store_true", help="print the induced rules (tree/1R/PRISM)")
+    mine.add_argument("--max-rules", type=int, default=20)
+    mine.set_defaults(func=_cmd_mine)
+
+    publish = subparsers.add_parser("publish", help="publish a CSV file (and its quality) as Linked Open Data")
+    add_data_arguments(publish)
+    publish.add_argument("--format", choices=("turtle", "ntriples"), default="turtle")
+    publish.add_argument("--base-iri", default="http://openbi.example.org/data/")
+    publish.add_argument("--with-quality", action="store_true", help="also publish the measured quality profile")
+    publish.add_argument("--output", help="write to this file instead of stdout")
+    publish.set_defaults(func=_cmd_publish)
+
+    datasets = subparsers.add_parser("datasets", help="generate one of the built-in civic datasets as CSV")
+    datasets.add_argument("name", help=f"one of {sorted(CIVIC_GENERATORS)}")
+    datasets.add_argument("output", help="CSV path to write")
+    datasets.add_argument("--rows", type=int, default=200)
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.add_argument("--dirty", action="store_true", help="generate the organically dirty variant")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code (0 success, 2 usage error)."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: data-quality-aware guidance for mining.
+
+The framework has two stages (paper, Figure 2):
+
+1. **Experiments → knowledge base.**  Starting from clean reference datasets,
+   :mod:`repro.core.injection` introduces data quality problems in a
+   controlled manner; :mod:`repro.core.experiment` runs the mining algorithms
+   over every degraded variant (Phase 1: one criterion at a time, Phase 2:
+   mixed criteria) and stores what happened in the
+   :class:`~repro.core.knowledge_base.KnowledgeBase` ("DQ4DM").
+2. **Advice.**  For a new LOD source, its measured
+   :class:`~repro.quality.profile.DataQualityProfile` is matched against the
+   knowledge base by the :class:`~repro.core.advisor.Advisor`, which
+   recommends the most appropriate algorithm ("the best option is
+   ALGORITHM X") together with a rationale, and
+   :mod:`repro.core.rules` distils the knowledge base into human-readable
+   guidance rules.
+"""
+
+from repro.core.injection import (
+    Injector,
+    INJECTOR_REGISTRY,
+    get_injector,
+    MissingValuesInjector,
+    NoiseInjector,
+    ClassNoiseInjector,
+    DuplicateInjector,
+    ImbalanceInjector,
+    CorrelatedAttributesInjector,
+    IrrelevantAttributesInjector,
+    OutlierInjector,
+    InconsistencyInjector,
+    apply_injections,
+)
+from repro.core.profiles import UserProfile
+from repro.core.experiment import ExperimentPlan, ExperimentRunner, ExperimentRecord
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.advisor import Advisor, Recommendation
+from repro.core.rules import derive_guidance_rules, GuidanceRule
+
+__all__ = [
+    "Injector",
+    "INJECTOR_REGISTRY",
+    "get_injector",
+    "MissingValuesInjector",
+    "NoiseInjector",
+    "ClassNoiseInjector",
+    "DuplicateInjector",
+    "ImbalanceInjector",
+    "CorrelatedAttributesInjector",
+    "IrrelevantAttributesInjector",
+    "OutlierInjector",
+    "InconsistencyInjector",
+    "apply_injections",
+    "UserProfile",
+    "ExperimentPlan",
+    "ExperimentRunner",
+    "ExperimentRecord",
+    "KnowledgeBase",
+    "Advisor",
+    "Recommendation",
+    "derive_guidance_rules",
+    "GuidanceRule",
+]

@@ -1,0 +1,179 @@
+"""The advisor: "the best option is ALGORITHM X" (paper, Figure 2).
+
+Given the DQ4DM knowledge base and a new source's measured data quality
+profile, the advisor predicts how each candidate algorithm would perform on
+data of that quality and recommends the best one, with a rationale a
+non-expert user can read.  Two baselines (random choice, fixed
+best-on-clean-data choice) are provided for the evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import KnowledgeBaseError
+from repro.core.knowledge_base import KnowledgeBase
+from repro.quality.profile import DataQualityProfile, measure_quality
+from repro.tabular.dataset import Dataset
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output for one source."""
+
+    dataset: str
+    ranked_algorithms: list[tuple[str, float]]
+    rationale: str
+    neighbours_used: int
+    quality_profile: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def best_algorithm(self) -> str:
+        return self.ranked_algorithms[0][0]
+
+    @property
+    def expected_score(self) -> float:
+        return self.ranked_algorithms[0][1]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "best_algorithm": self.best_algorithm,
+            "expected_score": self.expected_score,
+            "ranking": [{"algorithm": a, "expected_score": s} for a, s in self.ranked_algorithms],
+            "rationale": self.rationale,
+            "neighbours_used": self.neighbours_used,
+            "quality_profile": dict(self.quality_profile),
+        }
+
+
+class Advisor:
+    """Nearest-neighbour advice over the knowledge base.
+
+    Parameters
+    ----------
+    knowledge_base:
+        A populated :class:`~repro.core.knowledge_base.KnowledgeBase`.
+    k:
+        Number of nearest experiment records (per algorithm) averaged to
+        predict an algorithm's performance on the new source.
+    metric:
+        Which recorded metric to optimise (``accuracy``, ``macro_f1``, ``kappa``).
+    criteria:
+        Quality criteria used for the profile distance; defaults to the
+        criteria shared by the knowledge base and the new profile.
+    criteria_weights:
+        Optional per-criterion weights in the distance (ablation hook).
+    distance_weighting:
+        When ``True`` neighbour contributions are weighted by 1/(distance+eps).
+    """
+
+    def __init__(
+        self,
+        knowledge_base: KnowledgeBase,
+        k: int = 7,
+        metric: str = "accuracy",
+        criteria: Sequence[str] | None = None,
+        criteria_weights: dict[str, float] | None = None,
+        distance_weighting: bool = True,
+    ) -> None:
+        if len(knowledge_base) == 0:
+            raise KnowledgeBaseError("cannot advise from an empty knowledge base")
+        if k < 1:
+            raise KnowledgeBaseError("k must be at least 1")
+        self.knowledge_base = knowledge_base
+        self.k = k
+        self.metric = metric
+        self.criteria = list(criteria) if criteria is not None else None
+        self.criteria_weights = dict(criteria_weights) if criteria_weights else None
+        self.distance_weighting = distance_weighting
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict_performance(self, profile: DataQualityProfile, algorithm: str) -> float:
+        """Predict the chosen metric for one algorithm on data with this profile."""
+        records = self.knowledge_base.query(algorithm=algorithm)
+        if not records:
+            raise KnowledgeBaseError(f"the knowledge base has no records for {algorithm!r}")
+        scored = []
+        for record in records:
+            distance = record.profile_distance(profile, criteria=self.criteria, weights=self.criteria_weights)
+            scored.append((distance, record.metrics[self.metric]))
+        scored.sort(key=lambda pair: pair[0])
+        nearest = scored[: self.k]
+        if self.distance_weighting:
+            weights = np.asarray([1.0 / (distance + 1e-6) for distance, _ in nearest])
+            values = np.asarray([value for _, value in nearest])
+            return float((weights * values).sum() / weights.sum())
+        return float(np.mean([value for _, value in nearest]))
+
+    def rank_algorithms(self, profile: DataQualityProfile, algorithms: Sequence[str] | None = None) -> list[tuple[str, float]]:
+        """Rank candidate algorithms by predicted performance (best first)."""
+        candidates = list(algorithms) if algorithms is not None else self.knowledge_base.algorithms()
+        ranking = [(algorithm, self.predict_performance(profile, algorithm)) for algorithm in candidates]
+        ranking.sort(key=lambda pair: (-pair[1], pair[0]))
+        return ranking
+
+    # -- advice -------------------------------------------------------------------
+
+    def advise_profile(self, profile: DataQualityProfile, algorithms: Sequence[str] | None = None) -> Recommendation:
+        """Produce a recommendation from an already measured quality profile."""
+        ranking = self.rank_algorithms(profile, algorithms)
+        best_algorithm, best_score = ranking[0]
+        worst = profile.worst_criteria(2)
+        problems = ", ".join(f"{name} = {score:.2f}" for name, score in worst)
+        runner_up = ranking[1] if len(ranking) > 1 else None
+        rationale = (
+            f"The source's weakest data quality criteria are {problems}. "
+            f"On knowledge-base experiments with similar quality profiles, "
+            f"{best_algorithm} achieved the best expected {self.metric} ({best_score:.3f})"
+        )
+        if runner_up is not None:
+            rationale += f", ahead of {runner_up[0]} ({runner_up[1]:.3f})"
+        rationale += "."
+        return Recommendation(
+            dataset=profile.dataset_name,
+            ranked_algorithms=ranking,
+            rationale=rationale,
+            neighbours_used=min(self.k, len(self.knowledge_base)),
+            quality_profile=profile.as_dict(),
+        )
+
+    def advise(self, dataset: Dataset, algorithms: Sequence[str] | None = None) -> Recommendation:
+        """Measure a dataset's quality profile and produce a recommendation."""
+        criteria = self.criteria or self.knowledge_base.criteria() or None
+        profile = measure_quality(dataset, criteria=criteria)
+        return self.advise_profile(profile, algorithms)
+
+
+# ---------------------------------------------------------------------------
+# Baseline strategies used by the evaluation benchmarks
+# ---------------------------------------------------------------------------
+
+def random_choice_baseline(algorithms: Sequence[str], seed: int = 0) -> str:
+    """Pick an algorithm uniformly at random (the uninformed citizen)."""
+    if not algorithms:
+        raise KnowledgeBaseError("no algorithms to choose from")
+    return random.Random(seed).choice(sorted(algorithms))
+
+
+def fixed_best_on_clean_baseline(knowledge_base: KnowledgeBase, metric: str = "accuracy") -> str:
+    """Always pick the algorithm that was best on the clean baselines.
+
+    This models a user who benchmarked algorithms once on trusted data and
+    never adapts to the quality of the source at hand.
+    """
+    clean_records = knowledge_base.query(phase="clean_baseline")
+    if not clean_records:
+        clean_records = knowledge_base.records
+    by_algorithm: dict[str, list[float]] = {}
+    for record in clean_records:
+        by_algorithm.setdefault(record.algorithm, []).append(record.metrics[metric])
+    if not by_algorithm:
+        raise KnowledgeBaseError("the knowledge base has no usable records")
+    return max(sorted(by_algorithm), key=lambda a: float(np.mean(by_algorithm[a])))

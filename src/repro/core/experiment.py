@@ -1,0 +1,231 @@
+"""The experiment campaign that populates the DQ4DM knowledge base.
+
+Paper §3.1 defines the four steps — input data (user profile + LOD sources),
+data preparation (simple and mixed degraded variants), application of the
+experiments, and accumulation of the results in a knowledge base.  The
+:class:`ExperimentRunner` implements exactly that loop; the
+:class:`ExperimentPlan` describes which degraded variants are produced.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ExperimentError
+from repro.core.injection import INJECTOR_REGISTRY, apply_injections
+from repro.core.profiles import UserProfile
+from repro.mining import CLASSIFIER_REGISTRY
+from repro.mining.validation import cross_validate
+from repro.quality.profile import DataQualityProfile, measure_quality
+from repro.tabular.dataset import Dataset
+
+#: Phase identifiers (paper §3.1: "PHASE 1: simple", "PHASE 2: mixed").
+PHASE_SIMPLE = "phase1_simple"
+PHASE_MIXED = "phase2_mixed"
+PHASE_CLEAN = "clean_baseline"
+
+
+@dataclass
+class ExperimentRecord:
+    """One observation: algorithm × degraded dataset → measured performance."""
+
+    dataset: str
+    algorithm: str
+    phase: str
+    injections: dict[str, float]
+    quality_scores: dict[str, float]
+    metrics: dict[str, float]
+    seed: int = 0
+
+    def profile_distance(
+        self,
+        profile: DataQualityProfile,
+        criteria: Sequence[str] | None = None,
+        weights: Mapping[str, float] | None = None,
+    ) -> float:
+        """Euclidean distance between this record's measured quality and a profile."""
+        other = profile.as_dict()
+        names = list(criteria) if criteria is not None else sorted(set(self.quality_scores) & set(other))
+        if not names:
+            raise ExperimentError("record and profile share no quality criteria")
+        total = 0.0
+        for name in names:
+            weight = float(weights.get(name, 1.0)) if weights else 1.0
+            diff = self.quality_scores.get(name, 1.0) - other.get(name, 1.0)
+            total += weight * diff * diff
+        return total ** 0.5
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "phase": self.phase,
+            "injections": dict(self.injections),
+            "quality_scores": dict(self.quality_scores),
+            "metrics": dict(self.metrics),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentRecord":
+        return cls(
+            dataset=str(payload["dataset"]),
+            algorithm=str(payload["algorithm"]),
+            phase=str(payload.get("phase", PHASE_SIMPLE)),
+            injections={str(k): float(v) for k, v in payload.get("injections", {}).items()},
+            quality_scores={str(k): float(v) for k, v in payload.get("quality_scores", {}).items()},
+            metrics={str(k): float(v) for k, v in payload.get("metrics", {}).items()},
+            seed=int(payload.get("seed", 0)),
+        )
+
+
+@dataclass
+class ExperimentPlan:
+    """Which degraded dataset variants the campaign produces.
+
+    ``simple_severities`` drives Phase 1 (each criterion individually at each
+    severity); ``mixed_combinations`` drives Phase 2 (each mapping is applied
+    as a joint degradation).  By default Phase 2 combines every unordered pair
+    of criteria at ``mixed_severity``.
+    """
+
+    criteria: tuple[str, ...] = ("completeness", "accuracy", "balance", "correlation", "dimensionality", "duplication")
+    simple_severities: tuple[float, ...] = (0.0, 0.1, 0.2, 0.4)
+    mixed_combinations: tuple[Mapping[str, float], ...] = ()
+    mixed_severity: float = 0.25
+    include_clean_baseline: bool = True
+
+    def __post_init__(self) -> None:
+        unknown = [c for c in self.criteria if c not in INJECTOR_REGISTRY]
+        if unknown:
+            raise ExperimentError(f"plan references unknown injectors: {unknown}")
+        for severity in self.simple_severities:
+            if not 0.0 <= severity <= 1.0:
+                raise ExperimentError(f"severity {severity} outside [0, 1]")
+        if not self.mixed_combinations:
+            pairs = itertools.combinations(self.criteria, 2)
+            self.mixed_combinations = tuple({a: self.mixed_severity, b: self.mixed_severity} for a, b in pairs)
+
+    def simple_variants(self) -> list[dict[str, float]]:
+        """Phase-1 injection mappings (one criterion at a time)."""
+        variants: list[dict[str, float]] = []
+        for criterion in self.criteria:
+            for severity in self.simple_severities:
+                if severity == 0.0:
+                    continue  # the shared clean baseline covers severity 0
+                variants.append({criterion: severity})
+        return variants
+
+    def mixed_variants(self) -> list[dict[str, float]]:
+        """Phase-2 injection mappings (several criteria at once)."""
+        return [dict(combination) for combination in self.mixed_combinations]
+
+    def n_variants(self) -> int:
+        baseline = 1 if self.include_clean_baseline else 0
+        return baseline + len(self.simple_variants()) + len(self.mixed_variants())
+
+
+class ExperimentRunner:
+    """Runs an :class:`ExperimentPlan` for a :class:`UserProfile` over datasets.
+
+    Parameters
+    ----------
+    profile:
+        The user profile (candidate algorithms, criteria, CV folds, metric).
+    plan:
+        The degradation plan; a default plan is built when omitted.
+    algorithm_factories:
+        Override mapping algorithm name → zero-argument factory.  Defaults to
+        :data:`repro.mining.CLASSIFIER_REGISTRY` restricted to the profile's
+        algorithms.
+    """
+
+    def __init__(
+        self,
+        profile: UserProfile | None = None,
+        plan: ExperimentPlan | None = None,
+        algorithm_factories: Mapping[str, Callable[[], Any]] | None = None,
+    ) -> None:
+        self.profile = profile or UserProfile()
+        self.plan = plan or ExperimentPlan()
+        if algorithm_factories is None:
+            missing = [a for a in self.profile.algorithms if a not in CLASSIFIER_REGISTRY]
+            if missing:
+                raise ExperimentError(f"no registered factory for algorithms: {missing}")
+            algorithm_factories = {name: CLASSIFIER_REGISTRY[name] for name in self.profile.algorithms}
+        self.algorithm_factories = dict(algorithm_factories)
+        if not self.algorithm_factories:
+            raise ExperimentError("no algorithms to run")
+
+    # -- core loop --------------------------------------------------------------
+
+    def run_variant(
+        self,
+        dataset: Dataset,
+        injections: Mapping[str, float],
+        phase: str,
+        seed: int = 0,
+    ) -> list[ExperimentRecord]:
+        """Produce one degraded variant, measure its quality, evaluate every algorithm."""
+        degraded = apply_injections(dataset, injections, seed=seed) if injections else dataset
+        quality = measure_quality(degraded, criteria=self.profile.criteria)
+        records = []
+        for algorithm, factory in self.algorithm_factories.items():
+            result = cross_validate(factory, degraded, k=self.profile.cv_folds, seed=seed)
+            records.append(
+                ExperimentRecord(
+                    dataset=dataset.name,
+                    algorithm=algorithm,
+                    phase=phase,
+                    injections=dict(injections),
+                    quality_scores=quality.as_dict(),
+                    metrics={
+                        "accuracy": result.accuracy,
+                        "macro_f1": result.macro_f1,
+                        "kappa": result.kappa,
+                        "accuracy_std": result.accuracy_std,
+                    },
+                    seed=seed,
+                )
+            )
+        return records
+
+    def run(
+        self,
+        datasets: Sequence[Dataset],
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> "KnowledgeBase":
+        """Run the full campaign and return the populated knowledge base.
+
+        The returned object is a :class:`repro.core.knowledge_base.KnowledgeBase`.
+        """
+        from repro.core.knowledge_base import KnowledgeBase
+
+        if not datasets:
+            raise ExperimentError("no datasets to experiment on")
+        knowledge_base = KnowledgeBase(name=f"dq4dm-{self.profile.name}")
+        started = time.perf_counter()
+        for dataset_index, dataset in enumerate(datasets):
+            variant_seed = seed + 1000 * dataset_index
+            if self.plan.include_clean_baseline:
+                knowledge_base.extend(self.run_variant(dataset, {}, PHASE_CLEAN, seed=variant_seed))
+            for offset, injections in enumerate(self.plan.simple_variants()):
+                knowledge_base.extend(
+                    self.run_variant(dataset, injections, PHASE_SIMPLE, seed=variant_seed + offset + 1)
+                )
+            for offset, injections in enumerate(self.plan.mixed_variants()):
+                knowledge_base.extend(
+                    self.run_variant(dataset, injections, PHASE_MIXED, seed=variant_seed + 500 + offset)
+                )
+            if verbose:  # pragma: no cover - informational output only
+                elapsed = time.perf_counter() - started
+                print(
+                    f"[experiment] {dataset.name}: {knowledge_base and len(knowledge_base)} records "
+                    f"after {elapsed:.1f}s"
+                )
+        return knowledge_base

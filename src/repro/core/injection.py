@@ -1,0 +1,419 @@
+"""Controlled injection of data quality problems.
+
+"From this initial dataset we will introduce some data quality problems in a
+controlled manner.  This allows us to test the incidence of data quality in
+the LOD sources." (paper, §3.1)
+
+Every injector takes a clean dataset and a ``severity`` in ``[0, 1]`` and
+returns a *new* degraded dataset; the original is never mutated.  Injector
+names deliberately match the data quality criteria of :mod:`repro.quality`
+that they degrade, so experiment records can relate "what was injected" to
+"what was measured".
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.tabular.dataset import Column, ColumnRole, ColumnType, Dataset, is_missing_value
+
+
+class Injector(ABC):
+    """A reproducible, severity-parameterised data quality degradation."""
+
+    #: Registry key; also the name of the quality criterion primarily degraded.
+    name = "injector"
+
+    @abstractmethod
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        """Return a degraded copy of ``dataset``.
+
+        ``severity`` 0.0 must return an (equal-valued) copy; 1.0 is the
+        strongest supported degradation.
+        """
+
+    def _check_severity(self, severity: float) -> float:
+        if not 0.0 <= severity <= 1.0:
+            raise ExperimentError(f"severity must be in [0, 1], got {severity}")
+        return severity
+
+
+def _feature_columns(dataset: Dataset, include_target: bool = False) -> list[str]:
+    roles = {ColumnRole.FEATURE}
+    if include_target:
+        roles.add(ColumnRole.TARGET)
+    return [c.name for c in dataset.columns if c.role in roles]
+
+
+class MissingValuesInjector(Injector):
+    """Remove cells completely at random from the feature columns.
+
+    ``severity`` is the fraction of feature cells blanked (degrades the
+    *completeness* criterion).
+    """
+
+    name = "completeness"
+
+    def __init__(self, columns: Sequence[str] | None = None) -> None:
+        self.columns = list(columns) if columns is not None else None
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = random.Random(seed)
+        target_columns = self.columns if self.columns is not None else _feature_columns(dataset)
+        columns = []
+        for column in result.columns:
+            if column.name not in target_columns:
+                columns.append(column)
+                continue
+            values = column.tolist()
+            for i in range(len(values)):
+                if rng.random() < severity:
+                    values[i] = None
+            columns.append(Column(column.name, values, ctype=column.ctype, role=column.role))
+        return Dataset(columns, name=dataset.name)
+
+
+class NoiseInjector(Injector):
+    """Corrupt feature values (degrades the *accuracy* criterion).
+
+    With probability ``severity`` a numeric cell is replaced by its value plus
+    Gaussian noise of ``magnitude`` column standard deviations, and a
+    categorical cell is replaced by a different random level.
+    """
+
+    name = "accuracy"
+
+    def __init__(self, magnitude: float = 3.0, columns: Sequence[str] | None = None) -> None:
+        self.magnitude = magnitude
+        self.columns = list(columns) if columns is not None else None
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = np.random.default_rng(seed)
+        target_columns = self.columns if self.columns is not None else _feature_columns(dataset)
+        columns = []
+        for column in result.columns:
+            if column.name not in target_columns:
+                columns.append(column)
+                continue
+            values = column.tolist()
+            if column.is_numeric():
+                present = [v for v in values if not is_missing_value(v)]
+                std = float(np.std(present)) if len(present) > 1 else 1.0
+                std = std if std > 0 else 1.0
+                for i, value in enumerate(values):
+                    if not is_missing_value(value) and rng.random() < severity:
+                        values[i] = float(value) + float(rng.normal(0, self.magnitude * std))
+            else:
+                levels = [str(v) for v in column.distinct()]
+                if len(levels) > 1:
+                    for i, value in enumerate(values):
+                        if not is_missing_value(value) and rng.random() < severity:
+                            alternatives = [l for l in levels if l != str(value)]
+                            values[i] = alternatives[int(rng.integers(len(alternatives)))]
+            columns.append(Column(column.name, values, ctype=column.ctype, role=column.role))
+        return Dataset(columns, name=dataset.name)
+
+
+class ClassNoiseInjector(Injector):
+    """Flip target labels with probability ``severity`` (label noise)."""
+
+    name = "class_noise"
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = np.random.default_rng(seed)
+        target = result.target_column()
+        levels = [str(v) for v in target.distinct()]
+        if len(levels) < 2:
+            raise ExperimentError("cannot inject class noise with fewer than two classes")
+        values = target.tolist()
+        for i, value in enumerate(values):
+            if not is_missing_value(value) and rng.random() < severity:
+                alternatives = [l for l in levels if l != str(value)]
+                values[i] = alternatives[int(rng.integers(len(alternatives)))]
+        return result.replace_column(Column(target.name, values, ctype=target.ctype, role=target.role))
+
+
+class DuplicateInjector(Injector):
+    """Append duplicated rows (degrades the *duplication* criterion).
+
+    ``severity`` is the ratio of appended duplicates to original rows; with
+    ``fuzzy=True`` the copies get small perturbations so only near-duplicate
+    detection finds them.
+    """
+
+    name = "duplication"
+
+    def __init__(self, fuzzy: bool = False) -> None:
+        self.fuzzy = fuzzy
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = np.random.default_rng(seed)
+        n_duplicates = int(round(severity * dataset.n_rows))
+        if n_duplicates == 0:
+            return result
+        indices = [int(rng.integers(dataset.n_rows)) for _ in range(n_duplicates)]
+        duplicated = dataset.take(indices)
+        if self.fuzzy:
+            columns = []
+            for column in duplicated.columns:
+                values = column.tolist()
+                if column.is_numeric():
+                    present = [v for v in values if not is_missing_value(v)]
+                    std = float(np.std(present)) if len(present) > 1 else 1.0
+                    values = [
+                        v if is_missing_value(v) else float(v) + float(rng.normal(0, 0.01 * (std or 1.0)))
+                        for v in values
+                    ]
+                elif column.ctype == ColumnType.STRING or column.role == ColumnRole.IDENTIFIER:
+                    values = [v if is_missing_value(v) else f"{v} " for v in values]
+                columns.append(Column(column.name, values, ctype=column.ctype, role=column.role))
+            duplicated = Dataset(columns, name=duplicated.name)
+        return result.concat(duplicated)
+
+
+class ImbalanceInjector(Injector):
+    """Skew the class distribution (degrades the *balance* criterion).
+
+    ``severity`` 0.0 keeps the dataset unchanged; 1.0 keeps only ~2 % of the
+    minority classes' rows.  All classes except the majority class are
+    down-sampled by the same factor.
+    """
+
+    name = "balance"
+
+    def __init__(self, min_minority_fraction: float = 0.02) -> None:
+        self.min_minority_fraction = min_minority_fraction
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = random.Random(seed)
+        target = result.target_column()
+        by_class: dict[str, list[int]] = {}
+        for i, value in enumerate(target.tolist()):
+            if is_missing_value(value):
+                continue
+            by_class.setdefault(str(value), []).append(i)
+        if len(by_class) < 2:
+            raise ExperimentError("cannot inject imbalance with fewer than two classes")
+        majority = max(by_class, key=lambda cls: len(by_class[cls]))
+        keep_fraction = 1.0 - severity * (1.0 - self.min_minority_fraction)
+        keep_indices: list[int] = list(by_class[majority])
+        for cls, indices in by_class.items():
+            if cls == majority:
+                continue
+            n_keep = max(2, int(round(keep_fraction * len(indices))))
+            shuffled = indices[:]
+            rng.shuffle(shuffled)
+            keep_indices.extend(shuffled[:n_keep])
+        return result.take(sorted(keep_indices))
+
+
+class CorrelatedAttributesInjector(Injector):
+    """Add near-copies of existing numeric features (degrades *correlation*).
+
+    ``severity`` controls how many redundant attributes are added (up to one
+    per existing numeric feature, twice over at severity 1.0) and how faithful
+    the copies are (noise shrinks as severity grows).
+    """
+
+    name = "correlation"
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = np.random.default_rng(seed)
+        numeric_features = [c for c in dataset.feature_columns() if c.is_numeric()]
+        if not numeric_features:
+            raise ExperimentError("no numeric features to correlate with")
+        n_copies = max(1, int(round(severity * 2 * len(numeric_features))))
+        noise_scale = max(0.02, 0.3 * (1.0 - severity))
+        for index in range(n_copies):
+            source = numeric_features[index % len(numeric_features)]
+            values = source.values.astype(float)
+            present = values[~np.isnan(values)]
+            std = float(present.std()) if present.size > 1 else 1.0
+            copy_values = values + rng.normal(0, noise_scale * (std or 1.0), size=values.shape)
+            copy_values = np.where(np.isnan(values), np.nan, copy_values)
+            name = f"{source.name}_redundant_{index}"
+            result = result.add_column(Column(name, copy_values.tolist(), ctype=ColumnType.NUMERIC))
+        return result
+
+
+class IrrelevantAttributesInjector(Injector):
+    """Add pure-noise attributes (degrades *dimensionality*).
+
+    ``severity`` 1.0 adds ``max_added`` random attributes carrying no signal —
+    the high-dimensionality situation the paper associates with LOD.
+    """
+
+    name = "dimensionality"
+
+    def __init__(self, max_added: int = 60, categorical_share: float = 0.3, levels: int = 4) -> None:
+        self.max_added = max_added
+        self.categorical_share = categorical_share
+        self.levels = levels
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = np.random.default_rng(seed)
+        n_added = int(round(severity * self.max_added))
+        for index in range(n_added):
+            if rng.random() < self.categorical_share:
+                values = [f"noise_{int(rng.integers(self.levels))}" for _ in range(dataset.n_rows)]
+                column = Column(f"irrelevant_cat_{index}", values, ctype=ColumnType.CATEGORICAL)
+            else:
+                values = rng.normal(size=dataset.n_rows).tolist()
+                column = Column(f"irrelevant_num_{index}", values, ctype=ColumnType.NUMERIC)
+            result = result.add_column(column)
+        return result
+
+
+class OutlierInjector(Injector):
+    """Replace numeric cells with extreme values (degrades *outliers*)."""
+
+    name = "outliers"
+
+    def __init__(self, magnitude: float = 8.0) -> None:
+        self.magnitude = magnitude
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = np.random.default_rng(seed)
+        columns = []
+        for column in result.columns:
+            if not column.is_numeric() or column.role != ColumnRole.FEATURE:
+                columns.append(column)
+                continue
+            values = column.tolist()
+            present = [v for v in values if not is_missing_value(v)]
+            mean = float(np.mean(present)) if present else 0.0
+            std = float(np.std(present)) if len(present) > 1 else 1.0
+            std = std if std > 0 else 1.0
+            for i, value in enumerate(values):
+                if not is_missing_value(value) and rng.random() < severity * 0.3:
+                    sign = 1.0 if rng.random() < 0.5 else -1.0
+                    values[i] = mean + sign * self.magnitude * std * (1.0 + rng.random())
+            columns.append(Column(column.name, values, ctype=column.ctype, role=column.role))
+        return Dataset(columns, name=dataset.name)
+
+
+class InconsistencyInjector(Injector):
+    """Introduce inconsistent category spellings and impossible values.
+
+    Degrades the *consistency* (and partially *accuracy*) criteria: with
+    probability proportional to ``severity`` categorical cells get case /
+    whitespace variants and numeric cells get sign flips, the way messy open
+    data files commonly disagree with their documented schema.
+    """
+
+    name = "consistency"
+
+    def apply(self, dataset: Dataset, severity: float, seed: int = 0) -> Dataset:
+        severity = self._check_severity(severity)
+        result = dataset.copy()
+        if severity == 0.0:
+            return result
+        rng = np.random.default_rng(seed)
+        columns = []
+        for column in result.columns:
+            if column.role != ColumnRole.FEATURE:
+                columns.append(column)
+                continue
+            values = column.tolist()
+            if column.ctype in (ColumnType.CATEGORICAL, ColumnType.STRING):
+                for i, value in enumerate(values):
+                    if is_missing_value(value) or rng.random() >= severity * 0.5:
+                        continue
+                    text = str(value)
+                    variant = int(rng.integers(3))
+                    if variant == 0:
+                        values[i] = text.upper()
+                    elif variant == 1:
+                        values[i] = f" {text} "
+                    else:
+                        values[i] = text.capitalize() + "."
+            elif column.is_numeric():
+                for i, value in enumerate(values):
+                    if not is_missing_value(value) and rng.random() < severity * 0.2:
+                        values[i] = -abs(float(value)) if float(value) >= 0 else abs(float(value))
+            columns.append(Column(column.name, values, ctype=column.ctype, role=column.role))
+        return Dataset(columns, name=dataset.name)
+
+
+#: Registry injector name → class (constructed with defaults by :func:`get_injector`).
+INJECTOR_REGISTRY: dict[str, type[Injector]] = {
+    MissingValuesInjector.name: MissingValuesInjector,
+    NoiseInjector.name: NoiseInjector,
+    ClassNoiseInjector.name: ClassNoiseInjector,
+    DuplicateInjector.name: DuplicateInjector,
+    ImbalanceInjector.name: ImbalanceInjector,
+    CorrelatedAttributesInjector.name: CorrelatedAttributesInjector,
+    IrrelevantAttributesInjector.name: IrrelevantAttributesInjector,
+    OutlierInjector.name: OutlierInjector,
+    InconsistencyInjector.name: InconsistencyInjector,
+}
+
+
+def get_injector(name: str, **kwargs) -> Injector:
+    """Instantiate a registered injector by name."""
+    try:
+        cls = INJECTOR_REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown injector {name!r}; known: {sorted(INJECTOR_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def apply_injections(dataset: Dataset, injections: Mapping[str, float], seed: int = 0) -> Dataset:
+    """Apply several injectors in a deterministic order.
+
+    ``injections`` maps injector name → severity.  Injectors are applied in
+    the registry's declaration order so Phase-2 "mixed" experiments are
+    reproducible regardless of dict ordering at the call site.
+    """
+    result = dataset
+    step = 0
+    for name in INJECTOR_REGISTRY:
+        if name not in injections:
+            continue
+        severity = injections[name]
+        injector = get_injector(name)
+        result = injector.apply(result, severity, seed=seed + step)
+        step += 1
+    unknown = set(injections) - set(INJECTOR_REGISTRY)
+    if unknown:
+        raise ExperimentError(f"unknown injectors requested: {sorted(unknown)}")
+    return result

@@ -1,0 +1,266 @@
+"""The DQ4DM knowledge base.
+
+"Results of experiments are included in a knowledge base … Once a knowledge
+base is obtained, it can be used in OpenBI for a non-expert user to be aware
+of data quality when mining LOD." (paper, §3.1, step 4)
+
+The knowledge base stores :class:`~repro.core.experiment.ExperimentRecord`
+objects (what was injected, what quality was measured, how every algorithm
+performed) and offers query, aggregation and persistence (JSON file or a
+SQLite database).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import KnowledgeBaseError
+from repro.core.experiment import ExperimentRecord
+from repro.quality.profile import DataQualityProfile
+
+
+class KnowledgeBase:
+    """An append-only store of experiment observations with query helpers."""
+
+    def __init__(self, records: Iterable[ExperimentRecord] | None = None, name: str = "dq4dm") -> None:
+        self.name = name
+        self._records: list[ExperimentRecord] = list(records or [])
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Append one experiment observation."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ExperimentRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    # -- basic access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[ExperimentRecord]:
+        return list(self._records)
+
+    def algorithms(self) -> list[str]:
+        """Distinct algorithm names present in the knowledge base."""
+        return sorted({record.algorithm for record in self._records})
+
+    def criteria(self) -> list[str]:
+        """Distinct measured criteria present in the knowledge base."""
+        names: set[str] = set()
+        for record in self._records:
+            names.update(record.quality_scores)
+        return sorted(names)
+
+    def datasets(self) -> list[str]:
+        return sorted({record.dataset for record in self._records})
+
+    # -- querying -------------------------------------------------------------------
+
+    def query(
+        self,
+        algorithm: str | None = None,
+        dataset: str | None = None,
+        phase: str | None = None,
+        injected: str | None = None,
+        predicate: Callable[[ExperimentRecord], bool] | None = None,
+    ) -> list[ExperimentRecord]:
+        """Filter records by algorithm, dataset, phase, injected criterion or a predicate."""
+        results = []
+        for record in self._records:
+            if algorithm is not None and record.algorithm != algorithm:
+                continue
+            if dataset is not None and record.dataset != dataset:
+                continue
+            if phase is not None and record.phase != phase:
+                continue
+            if injected is not None and injected not in record.injections:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            results.append(record)
+        return results
+
+    def mean_metric(self, algorithm: str, metric: str = "accuracy", **filters: Any) -> float:
+        """Mean value of a metric over the (filtered) records of one algorithm."""
+        records = self.query(algorithm=algorithm, **filters)
+        if not records:
+            raise KnowledgeBaseError(f"no records for algorithm {algorithm!r} with filters {filters}")
+        return float(np.mean([record.metrics[metric] for record in records]))
+
+    def sensitivity_table(self, injected: str, metric: str = "accuracy") -> dict[str, dict[float, float]]:
+        """algorithm → {severity → mean metric} for one injected criterion.
+
+        This is the aggregation behind the Phase-1 experiment tables: how each
+        algorithm's performance moves as one data quality problem worsens.
+        """
+        table: dict[str, dict[float, list[float]]] = {}
+        for record in self._records:
+            if list(record.injections.keys()) != [injected]:
+                continue
+            severity = record.injections[injected]
+            table.setdefault(record.algorithm, {}).setdefault(severity, []).append(record.metrics[metric])
+        if not table:
+            raise KnowledgeBaseError(f"no single-criterion records for {injected!r}")
+        return {
+            algorithm: {severity: float(np.mean(values)) for severity, values in sorted(by_severity.items())}
+            for algorithm, by_severity in table.items()
+        }
+
+    def robustness_ranking(self, injected: str, metric: str = "accuracy") -> list[tuple[str, float]]:
+        """Algorithms ranked by (clean score − worst degraded score), ascending.
+
+        The most robust algorithm to the given problem comes first.
+        """
+        table = self.sensitivity_table(injected, metric=metric)
+        ranking = []
+        for algorithm, by_severity in table.items():
+            clean = by_severity.get(0.0)
+            if clean is None:
+                clean = by_severity[min(by_severity)]
+            worst = min(by_severity.values())
+            ranking.append((algorithm, clean - worst))
+        ranking.sort(key=lambda pair: pair[1])
+        return ranking
+
+    def nearest_records(
+        self,
+        profile: DataQualityProfile,
+        k: int = 10,
+        criteria: Sequence[str] | None = None,
+        weights: dict[str, float] | None = None,
+    ) -> list[tuple[float, ExperimentRecord]]:
+        """The ``k`` records whose measured quality profile is closest to ``profile``."""
+        if not self._records:
+            raise KnowledgeBaseError("the knowledge base is empty")
+        scored: list[tuple[float, ExperimentRecord]] = []
+        for record in self._records:
+            distance = record.profile_distance(profile, criteria=criteria, weights=weights)
+            scored.append((distance, record))
+        scored.sort(key=lambda pair: pair[0])
+        return scored[:k]
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise the knowledge base to JSON (optionally writing a file)."""
+        payload = {
+            "name": self.name,
+            "records": [record.as_dict() for record in self._records],
+        }
+        text = json.dumps(payload, indent=2, ensure_ascii=False)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "KnowledgeBase":
+        """Load a knowledge base previously saved with :meth:`to_json`."""
+        if isinstance(source, Path) or (isinstance(source, str) and not source.lstrip().startswith("{")):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        payload = json.loads(text)
+        records = [ExperimentRecord.from_dict(entry) for entry in payload.get("records", [])]
+        return cls(records, name=payload.get("name", "dq4dm"))
+
+    def to_sqlite(self, path: str | Path) -> Path:
+        """Persist the knowledge base to a SQLite database (table ``experiments``)."""
+        path = Path(path)
+        connection = sqlite3.connect(path)
+        try:
+            with connection:
+                connection.execute(
+                    """
+                    CREATE TABLE IF NOT EXISTS experiments (
+                        id INTEGER PRIMARY KEY AUTOINCREMENT,
+                        dataset TEXT NOT NULL,
+                        algorithm TEXT NOT NULL,
+                        phase TEXT NOT NULL,
+                        seed INTEGER NOT NULL,
+                        injections TEXT NOT NULL,
+                        quality_scores TEXT NOT NULL,
+                        metrics TEXT NOT NULL
+                    )
+                    """
+                )
+                connection.execute("DELETE FROM experiments")
+                connection.executemany(
+                    """
+                    INSERT INTO experiments (dataset, algorithm, phase, seed, injections, quality_scores, metrics)
+                    VALUES (?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    [
+                        (
+                            record.dataset,
+                            record.algorithm,
+                            record.phase,
+                            record.seed,
+                            json.dumps(record.injections),
+                            json.dumps(record.quality_scores),
+                            json.dumps(record.metrics),
+                        )
+                        for record in self._records
+                    ],
+                )
+        finally:
+            connection.close()
+        return path
+
+    @classmethod
+    def from_sqlite(cls, path: str | Path, name: str = "dq4dm") -> "KnowledgeBase":
+        """Load a knowledge base previously saved with :meth:`to_sqlite`."""
+        path = Path(path)
+        if not path.exists():
+            raise KnowledgeBaseError(f"no SQLite knowledge base at {path}")
+        connection = sqlite3.connect(path)
+        try:
+            rows = connection.execute(
+                "SELECT dataset, algorithm, phase, seed, injections, quality_scores, metrics FROM experiments"
+            ).fetchall()
+        finally:
+            connection.close()
+        records = [
+            ExperimentRecord(
+                dataset=row[0],
+                algorithm=row[1],
+                phase=row[2],
+                seed=int(row[3]),
+                injections=json.loads(row[4]),
+                quality_scores=json.loads(row[5]),
+                metrics=json.loads(row[6]),
+            )
+            for row in rows
+        ]
+        return cls(records, name=name)
+
+    # -- summaries ---------------------------------------------------------------------
+
+    def summary(self, metric: str = "accuracy") -> dict[str, Any]:
+        """High-level statistics used in reports and benchmarks."""
+        if not self._records:
+            raise KnowledgeBaseError("the knowledge base is empty")
+        by_algorithm = {
+            algorithm: float(np.mean([r.metrics[metric] for r in self.query(algorithm=algorithm)]))
+            for algorithm in self.algorithms()
+        }
+        return {
+            "n_records": len(self._records),
+            "n_algorithms": len(by_algorithm),
+            "n_datasets": len(self.datasets()),
+            "phases": sorted({record.phase for record in self._records}),
+            f"mean_{metric}_by_algorithm": by_algorithm,
+        }

@@ -1,0 +1,97 @@
+"""User profiles: what the non-expert user wants and which criteria to assess.
+
+"Our experiments take the user profile as input data.  The user profile
+includes the data quality criteria to assess." (paper, §3.1, step 1)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ExperimentError
+from repro.quality.profile import DEFAULT_CRITERIA
+
+#: Technique families supported by the experiment harness.
+TECHNIQUE_FAMILIES = ("classification", "association_rules", "clustering")
+
+#: Default candidate algorithms per technique family.
+DEFAULT_ALGORITHMS: dict[str, tuple[str, ...]] = {
+    "classification": (
+        "decision_tree",
+        "naive_bayes",
+        "knn",
+        "logistic_regression",
+        "one_r",
+        "prism",
+    ),
+    "association_rules": ("apriori",),
+    "clustering": ("kmeans", "agglomerative"),
+}
+
+
+@dataclass
+class UserProfile:
+    """Configuration of an experiment campaign / advice request.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the profile (e.g. "citizen-analyst").
+    technique_family:
+        One of :data:`TECHNIQUE_FAMILIES`.
+    criteria:
+        Data quality criteria to assess; defaults to every registered default
+        criterion.
+    algorithms:
+        Candidate algorithms to compare; defaults to the family's defaults.
+    evaluation_metric:
+        The metric the user cares about (``accuracy``, ``macro_f1``, ``kappa``).
+    cv_folds:
+        Cross-validation folds used during the experiments.
+    """
+
+    name: str = "default"
+    technique_family: str = "classification"
+    criteria: tuple[str, ...] = tuple(DEFAULT_CRITERIA)
+    algorithms: tuple[str, ...] = ()
+    evaluation_metric: str = "accuracy"
+    cv_folds: int = 3
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.technique_family not in TECHNIQUE_FAMILIES:
+            raise ExperimentError(
+                f"unknown technique family {self.technique_family!r}; choose from {TECHNIQUE_FAMILIES}"
+            )
+        if not self.algorithms:
+            self.algorithms = DEFAULT_ALGORITHMS[self.technique_family]
+        if self.evaluation_metric not in ("accuracy", "macro_f1", "kappa"):
+            raise ExperimentError(f"unknown evaluation metric {self.evaluation_metric!r}")
+        if self.cv_folds < 2:
+            raise ExperimentError("cv_folds must be at least 2")
+        self.criteria = tuple(self.criteria)
+        self.algorithms = tuple(self.algorithms)
+
+    def with_algorithms(self, algorithms: Sequence[str]) -> "UserProfile":
+        """Return a copy restricted to the given candidate algorithms."""
+        return UserProfile(
+            name=self.name,
+            technique_family=self.technique_family,
+            criteria=self.criteria,
+            algorithms=tuple(algorithms),
+            evaluation_metric=self.evaluation_metric,
+            cv_folds=self.cv_folds,
+            notes=self.notes,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "technique_family": self.technique_family,
+            "criteria": list(self.criteria),
+            "algorithms": list(self.algorithms),
+            "evaluation_metric": self.evaluation_metric,
+            "cv_folds": self.cv_folds,
+            "notes": self.notes,
+        }

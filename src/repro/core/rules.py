@@ -1,0 +1,111 @@
+"""Distil the knowledge base into human-readable guidance rules.
+
+The knowledge base is only useful to a non-expert if its content can be
+communicated.  :func:`derive_guidance_rules` turns the raw experiment records
+into statements of the form
+
+    "when completeness drops below 0.8, prefer naive_bayes over knn
+     (average accuracy 0.84 vs 0.71 on comparable experiments)"
+
+which the OpenBI reporting layer can show next to the recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import KnowledgeBaseError
+from repro.core.knowledge_base import KnowledgeBase
+
+
+@dataclass(frozen=True)
+class GuidanceRule:
+    """One piece of guidance derived from the knowledge base."""
+
+    criterion: str
+    threshold: float
+    best_algorithm: str
+    best_score: float
+    worst_algorithm: str
+    worst_score: float
+    n_observations: int
+
+    def as_text(self) -> str:
+        return (
+            f"when {self.criterion} < {self.threshold:.2f}, prefer {self.best_algorithm} "
+            f"(mean score {self.best_score:.3f}) and avoid {self.worst_algorithm} "
+            f"(mean score {self.worst_score:.3f}); based on {self.n_observations} experiments"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "criterion": self.criterion,
+            "threshold": self.threshold,
+            "best_algorithm": self.best_algorithm,
+            "best_score": self.best_score,
+            "worst_algorithm": self.worst_algorithm,
+            "worst_score": self.worst_score,
+            "n_observations": self.n_observations,
+        }
+
+
+def derive_guidance_rules(
+    knowledge_base: KnowledgeBase,
+    metric: str = "accuracy",
+    threshold: float = 0.85,
+    min_observations: int = 4,
+    min_gap: float = 0.01,
+) -> list[GuidanceRule]:
+    """Derive one rule per measured criterion that falls below ``threshold``.
+
+    For every quality criterion, the records whose measured score for that
+    criterion is below ``threshold`` are grouped by algorithm; a rule is
+    emitted when at least ``min_observations`` such records exist and the best
+    and worst algorithms differ by at least ``min_gap`` in the chosen metric.
+    """
+    if len(knowledge_base) == 0:
+        raise KnowledgeBaseError("cannot derive rules from an empty knowledge base")
+    rules: list[GuidanceRule] = []
+    for criterion in knowledge_base.criteria():
+        selected = [
+            record
+            for record in knowledge_base.records
+            if record.quality_scores.get(criterion, 1.0) < threshold
+        ]
+        if len(selected) < min_observations:
+            continue
+        by_algorithm: dict[str, list[float]] = {}
+        for record in selected:
+            by_algorithm.setdefault(record.algorithm, []).append(record.metrics[metric])
+        if len(by_algorithm) < 2:
+            continue
+        means = {algorithm: float(np.mean(values)) for algorithm, values in by_algorithm.items()}
+        best = max(sorted(means), key=means.get)
+        worst = min(sorted(means), key=means.get)
+        if means[best] - means[worst] < min_gap:
+            continue
+        rules.append(
+            GuidanceRule(
+                criterion=criterion,
+                threshold=threshold,
+                best_algorithm=best,
+                best_score=means[best],
+                worst_algorithm=worst,
+                worst_score=means[worst],
+                n_observations=len(selected),
+            )
+        )
+    rules.sort(key=lambda rule: rule.criterion)
+    return rules
+
+
+def guidance_report(rules: list[GuidanceRule]) -> str:
+    """Render the guidance rules as a plain-text bulleted list."""
+    if not rules:
+        return "No guidance rules could be derived (knowledge base too small or too uniform)."
+    lines = ["Guidance derived from the DQ4DM knowledge base:", ""]
+    lines.extend(f"  * {rule.as_text()}" for rule in rules)
+    return "\n".join(lines)

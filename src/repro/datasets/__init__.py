@@ -1,0 +1,43 @@
+"""Deterministic synthetic open-data generators.
+
+The paper works on governmental/civic Linked Open Data which we cannot fetch
+offline; these generators produce statistically controlled stand-ins:
+
+* :mod:`repro.datasets.synthetic` — abstract classification / regression /
+  clustering / transaction datasets with tunable separability, noise and
+  dimensionality (the "initial and representative sample … manually cleaned"
+  of §3.1 is a clean draw from these generators);
+* :mod:`repro.datasets.civic` — named civic scenarios (municipal budget,
+  air-quality sensors, census, service requests) published as tabular data and
+  as LOD graphs, in clean and dirty variants.
+
+All generators take a ``seed`` and are fully deterministic.
+"""
+
+from repro.datasets.synthetic import (
+    make_classification_dataset,
+    make_regression_dataset,
+    make_clustered_dataset,
+    make_transactions_dataset,
+)
+from repro.datasets.civic import (
+    municipal_budget,
+    air_quality,
+    census_income,
+    service_requests,
+    civic_lod_graph,
+    CIVIC_GENERATORS,
+)
+
+__all__ = [
+    "make_classification_dataset",
+    "make_regression_dataset",
+    "make_clustered_dataset",
+    "make_transactions_dataset",
+    "municipal_budget",
+    "air_quality",
+    "census_income",
+    "service_requests",
+    "civic_lod_graph",
+    "CIVIC_GENERATORS",
+]

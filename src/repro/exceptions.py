@@ -1,0 +1,40 @@
+"""Exception hierarchy shared by every subpackage.
+
+All exceptions raised on purpose by the library derive from
+:class:`ReproError`, so callers can catch one base class when they only care
+about "the library rejected my input" versus genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A dataset, schema or metamodel element was malformed or inconsistent."""
+
+
+class DataQualityError(ReproError):
+    """A data quality criterion could not be measured on the given data."""
+
+
+class MiningError(ReproError):
+    """A mining algorithm was misused (e.g. predict before fit, bad shapes)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment plan or run was invalid (unknown injector, bad severity…)."""
+
+
+class KnowledgeBaseError(ReproError):
+    """The DQ4DM knowledge base rejected an operation (empty KB, bad query…)."""
+
+
+class LODError(ReproError):
+    """A Linked Open Data operation failed (bad term, parse error, bad query)."""
+
+
+class OLAPError(ReproError):
+    """An OLAP cube operation was invalid (unknown dimension, measure…)."""

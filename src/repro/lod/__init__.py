@@ -1,0 +1,61 @@
+"""Linked Open Data substrate.
+
+The paper's OpenBI scenario starts from open data that has been integrated and
+semantically annotated into Linked Open Data (LOD).  This subpackage provides
+everything the rest of the library needs to work with LOD without external
+dependencies:
+
+* RDF terms (:class:`~repro.lod.terms.IRI`, :class:`~repro.lod.terms.Literal`,
+  :class:`~repro.lod.terms.BNode`) and triples;
+* an indexed in-memory :class:`~repro.lod.triples.TripleStore` and the
+  higher-level :class:`~repro.lod.graph.Graph`;
+* a small SPARQL-like basic-graph-pattern query engine
+  (:mod:`repro.lod.query`);
+* N-Triples / Turtle serialisation and parsing (:mod:`repro.lod.serialization`);
+* entity linking across sources (:mod:`repro.lod.linker`);
+* pivoting a LOD graph into a high-dimensional tabular dataset ready for
+  mining (:mod:`repro.lod.tabulate`);
+* publishing results (patterns, data quality annotations) back as LOD
+  (:mod:`repro.lod.publish`).
+"""
+
+from repro.lod.terms import IRI, Literal, BNode, Triple
+from repro.lod.vocabulary import Namespace, RDF, RDFS, XSD, OWL, DCTERMS, FOAF, QB, DQV, OPENBI
+from repro.lod.triples import TripleStore
+from repro.lod.graph import Graph
+from repro.lod.query import Variable, TriplePattern, select
+from repro.lod.serialization import to_ntriples, to_turtle, parse_ntriples
+from repro.lod.linker import EntityLinker, LinkRule
+from repro.lod.tabulate import tabulate_entities
+from repro.lod.publish import publish_dataset, publish_quality_profile, publish_patterns
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BNode",
+    "Triple",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "OWL",
+    "DCTERMS",
+    "FOAF",
+    "QB",
+    "DQV",
+    "OPENBI",
+    "TripleStore",
+    "Graph",
+    "Variable",
+    "TriplePattern",
+    "select",
+    "to_ntriples",
+    "to_turtle",
+    "parse_ntriples",
+    "EntityLinker",
+    "LinkRule",
+    "tabulate_entities",
+    "publish_dataset",
+    "publish_quality_profile",
+    "publish_patterns",
+]

@@ -1,0 +1,173 @@
+"""Entity linking across open data sources.
+
+Integrating "different open data sources" (paper, §1) requires discovering
+that a resource in one source denotes the same real-world entity as a resource
+in another.  The :class:`EntityLinker` compares resources of given types using
+declarative :class:`LinkRule` objects and emits ``owl:sameAs`` triples.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import LODError
+from repro.lod.graph import Graph
+from repro.lod.terms import IRI, Literal, Subject, Triple
+from repro.lod.vocabulary import OWL
+
+
+def normalise_string(value: str) -> str:
+    """Lower-case, strip accents and collapse whitespace/punctuation."""
+    text = unicodedata.normalize("NFKD", str(value))
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    text = re.sub(r"[^a-z0-9]+", " ", text.lower())
+    return " ".join(text.split())
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Token Jaccard similarity between two normalised strings."""
+    tokens_a = set(normalise_string(a).split())
+    tokens_b = set(normalise_string(b).split())
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (used for fuzzy key matching)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def string_similarity(a: str, b: str) -> float:
+    """Normalised similarity in [0, 1] combining exact, Jaccard and edit distance."""
+    na, nb = normalise_string(a), normalise_string(b)
+    if not na and not nb:
+        return 1.0
+    if na == nb:
+        return 1.0
+    jac = jaccard_similarity(na, nb)
+    longest = max(len(na), len(nb))
+    edit = 1.0 - levenshtein(na, nb) / longest if longest else 1.0
+    return max(jac, edit)
+
+
+@dataclass
+class LinkRule:
+    """How two resources should be compared.
+
+    Parameters
+    ----------
+    left_property / right_property:
+        Predicates whose values are compared on each side.
+    comparator:
+        Function (value_a, value_b) → similarity in [0, 1]; defaults to
+        :func:`string_similarity`.
+    weight:
+        Relative weight of this rule in the aggregated score.
+    """
+
+    left_property: IRI
+    right_property: IRI
+    comparator: Callable[[str, str], float] = field(default=string_similarity)
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class Link:
+    """A discovered equivalence between two resources with its confidence."""
+
+    left: Subject
+    right: Subject
+    score: float
+
+
+class EntityLinker:
+    """Discover ``owl:sameAs`` links between two graphs (or within one graph).
+
+    The linker scores every candidate pair of resources of the requested types
+    with the weighted average of its rules and keeps pairs above ``threshold``.
+    """
+
+    def __init__(self, rules: Sequence[LinkRule], threshold: float = 0.85) -> None:
+        if not rules:
+            raise LODError("EntityLinker needs at least one LinkRule")
+        if not 0.0 < threshold <= 1.0:
+            raise LODError("threshold must be in (0, 1]")
+        self.rules = list(rules)
+        self.threshold = threshold
+
+    def _values(self, graph: Graph, subject: Subject, predicate: IRI) -> list[str]:
+        values = []
+        for obj in graph.store.objects(subject, predicate):
+            if isinstance(obj, Literal):
+                values.append(str(obj.python_value()))
+            elif isinstance(obj, IRI):
+                values.append(obj.local_name())
+        return values
+
+    def score_pair(self, left_graph: Graph, left: Subject, right_graph: Graph, right: Subject) -> float:
+        """Weighted-average similarity between two resources."""
+        total_weight = 0.0
+        total_score = 0.0
+        for rule in self.rules:
+            left_values = self._values(left_graph, left, rule.left_property)
+            right_values = self._values(right_graph, right, rule.right_property)
+            if not left_values or not right_values:
+                continue
+            best = max(rule.comparator(a, b) for a in left_values for b in right_values)
+            total_score += rule.weight * best
+            total_weight += rule.weight
+        if total_weight == 0:
+            return 0.0
+        return total_score / total_weight
+
+    def link(
+        self,
+        left_graph: Graph,
+        left_type: IRI,
+        right_graph: Graph,
+        right_type: IRI,
+    ) -> list[Link]:
+        """Return every above-threshold link between instances of the two types."""
+        links: list[Link] = []
+        left_subjects = left_graph.subjects_of_type(left_type)
+        right_subjects = right_graph.subjects_of_type(right_type)
+        for left in left_subjects:
+            best_right = None
+            best_score = 0.0
+            for right in right_subjects:
+                if left == right:
+                    continue
+                score = self.score_pair(left_graph, left, right_graph, right)
+                if score > best_score:
+                    best_score = score
+                    best_right = right
+            if best_right is not None and best_score >= self.threshold:
+                links.append(Link(left, best_right, best_score))
+        return links
+
+    def materialise(self, target_graph: Graph, links: Sequence[Link]) -> int:
+        """Write ``owl:sameAs`` triples for the links into ``target_graph``."""
+        added = 0
+        for link in links:
+            if target_graph.store.add(Triple(link.left, OWL.sameAs, link.right)):
+                added += 1
+        return added

@@ -1,0 +1,178 @@
+"""A small SPARQL-like query engine over :class:`~repro.lod.graph.Graph`.
+
+Only the features the library needs are implemented: basic graph patterns
+(conjunctions of triple patterns with shared variables), optional value
+filters, ``DISTINCT``, ``LIMIT`` and ``ORDER BY``.  This is enough to express
+the selection queries used when pivoting LOD into datasets and when reading
+published results back.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.exceptions import LODError
+from repro.lod.graph import Graph
+from repro.lod.terms import IRI, BNode, Literal, Object, Subject, Triple
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable, written ``Variable("x")`` (think SPARQL ``?x``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[Variable, IRI, BNode, Literal]
+Binding = dict[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple pattern whose positions may be variables or concrete terms."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> list[str]:
+        return [t.name for t in (self.subject, self.predicate, self.object) if isinstance(t, Variable)]
+
+
+def _resolve(term: Term, binding: Binding):
+    """Replace a variable by its bound value (or ``None`` when still free)."""
+    if isinstance(term, Variable):
+        return binding.get(term.name)
+    return term
+
+
+def _match_pattern(graph: Graph, pattern: TriplePattern, binding: Binding) -> Iterable[Binding]:
+    """Yield extensions of ``binding`` that satisfy ``pattern`` in ``graph``."""
+    s = _resolve(pattern.subject, binding)
+    p = _resolve(pattern.predicate, binding)
+    o = _resolve(pattern.object, binding)
+    for triple in graph.triples(s, p, o):
+        extended = dict(binding)
+        consistent = True
+        for term, value in ((pattern.subject, triple.subject), (pattern.predicate, triple.predicate), (pattern.object, triple.object)):
+            if isinstance(term, Variable):
+                existing = extended.get(term.name)
+                if existing is None:
+                    extended[term.name] = value
+                elif existing != value:
+                    consistent = False
+                    break
+        if consistent:
+            yield extended
+
+
+def _pattern_selectivity(pattern: TriplePattern, bound: set[str]) -> int:
+    """Heuristic: more bound positions first (cheaper join order)."""
+    score = 0
+    for term in (pattern.subject, pattern.predicate, pattern.object):
+        if not isinstance(term, Variable) or term.name in bound:
+            score += 1
+    return -score
+
+
+def select(
+    graph: Graph,
+    patterns: Sequence[TriplePattern],
+    variables: Sequence[str] | None = None,
+    where: Callable[[Binding], bool] | None = None,
+    distinct: bool = False,
+    order_by: str | None = None,
+    descending: bool = False,
+    limit: int | None = None,
+) -> list[Binding]:
+    """Evaluate a basic graph pattern and return variable bindings.
+
+    Parameters
+    ----------
+    graph:
+        The graph to query.
+    patterns:
+        Triple patterns; variables shared across patterns express joins.
+    variables:
+        Names of the variables to keep in the result rows (default: all).
+    where:
+        Optional predicate applied to each full binding (a SPARQL FILTER).
+    distinct, order_by, descending, limit:
+        Result modifiers analogous to their SPARQL counterparts.
+    """
+    if not patterns:
+        raise LODError("select needs at least one triple pattern")
+
+    bindings: list[Binding] = [{}]
+    remaining = list(patterns)
+    bound: set[str] = set()
+    while remaining:
+        remaining.sort(key=lambda pat: _pattern_selectivity(pat, bound))
+        pattern = remaining.pop(0)
+        next_bindings: list[Binding] = []
+        for binding in bindings:
+            next_bindings.extend(_match_pattern(graph, pattern, binding))
+        bindings = next_bindings
+        bound.update(pattern.variables())
+        if not bindings:
+            break
+
+    if where is not None:
+        bindings = [b for b in bindings if where(b)]
+
+    if variables is not None:
+        missing = [v for v in variables if v not in bound]
+        if missing:
+            raise LODError(f"projected variables never bound by the patterns: {missing}")
+        bindings = [{v: b.get(v) for v in variables} for b in bindings]
+
+    if distinct:
+        seen: set[tuple] = set()
+        unique: list[Binding] = []
+        for binding in bindings:
+            key = tuple(sorted((k, _sort_key(v)) for k, v in binding.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(binding)
+        bindings = unique
+
+    if order_by is not None:
+        bindings.sort(key=lambda b: _sort_key(b.get(order_by)), reverse=descending)
+
+    if limit is not None:
+        bindings = bindings[:limit]
+    return bindings
+
+
+def _sort_key(value: Any) -> tuple:
+    """Total order over heterogeneous RDF terms for ORDER BY / DISTINCT."""
+    if isinstance(value, Literal):
+        inner = value.python_value()
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return (0, float(inner), "")
+        return (1, 0.0, str(inner))
+    if isinstance(value, IRI):
+        return (2, 0.0, value.value)
+    if isinstance(value, BNode):
+        return (3, 0.0, value.identifier)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))
+
+
+def ask(graph: Graph, patterns: Sequence[TriplePattern]) -> bool:
+    """Return ``True`` when the basic graph pattern has at least one solution."""
+    return bool(select(graph, patterns, limit=1))
+
+
+def count(graph: Graph, patterns: Sequence[TriplePattern], distinct_variable: str | None = None) -> int:
+    """Count solutions (or distinct values of one variable) of a pattern."""
+    results = select(graph, patterns)
+    if distinct_variable is None:
+        return len(results)
+    return len({_sort_key(r.get(distinct_variable)) for r in results})

@@ -1,0 +1,171 @@
+"""N-Triples and Turtle serialisation, plus an N-Triples parser.
+
+Sharing acquired information back "as LOD to be reused by anyone" (paper, §1)
+requires a concrete wire format; we implement the two simplest standard ones.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.exceptions import LODError
+from repro.lod.graph import Graph
+from repro.lod.terms import IRI, BNode, Literal, Object, Subject, Triple
+from repro.lod.vocabulary import XSD
+
+
+# ---------------------------------------------------------------------------
+# Writers
+# ---------------------------------------------------------------------------
+
+def _typed_literal(literal: Literal) -> Literal:
+    """Attach an XSD datatype to plain numeric/boolean literals for round-tripping."""
+    if literal.datatype is not None or literal.language is not None:
+        return literal
+    value = literal.value
+    if isinstance(value, bool):
+        return Literal(value, datatype=XSD.boolean)
+    if isinstance(value, int):
+        return Literal(value, datatype=XSD.integer)
+    if isinstance(value, float):
+        return Literal(value, datatype=XSD.double)
+    return literal
+
+
+def _term_n3(term: Object) -> str:
+    if isinstance(term, Literal):
+        return _typed_literal(term).n3()
+    return term.n3()
+
+
+def to_ntriples(graph: Graph, path: str | Path | None = None) -> str:
+    """Serialise a graph to N-Triples (one triple per line, sorted for stability)."""
+    lines = sorted(
+        f"{triple.subject.n3()} {triple.predicate.n3()} {_term_n3(triple.object)} ."
+        for triple in graph
+    )
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def _qname(iri: IRI, prefixes) -> str | None:
+    for prefix, namespace in prefixes.items():
+        if iri in namespace:
+            local = iri.value[len(namespace.prefix):]
+            if local and re.match(r"^[A-Za-z_][\w.-]*$", local):
+                return f"{prefix}:{local}"
+    return None
+
+
+def to_turtle(graph: Graph, path: str | Path | None = None) -> str:
+    """Serialise a graph to Turtle, grouping triples by subject."""
+    prefixes = graph.prefixes
+    used_prefixes: set[str] = set()
+
+    def render(term: Object) -> str:
+        if isinstance(term, IRI):
+            qname = _qname(term, prefixes)
+            if qname is not None:
+                used_prefixes.add(qname.split(":", 1)[0])
+                return qname
+            return term.n3()
+        if isinstance(term, Literal):
+            typed = _typed_literal(term)
+            if typed.datatype is not None:
+                qname = _qname(typed.datatype, prefixes)
+                if qname is not None:
+                    used_prefixes.add(qname.split(":", 1)[0])
+                    escaped = typed.n3().rsplit("^^", 1)[0]
+                    return f"{escaped}^^{qname}"
+            return typed.n3()
+        return term.n3()
+
+    by_subject: dict[Subject, list[Triple]] = {}
+    for triple in graph:
+        by_subject.setdefault(triple.subject, []).append(triple)
+
+    blocks: list[str] = []
+    for subject in sorted(by_subject, key=lambda s: (isinstance(s, BNode), str(s))):
+        triples = sorted(by_subject[subject], key=lambda t: (str(t.predicate), str(t.object)))
+        subject_text = render(subject) if isinstance(subject, IRI) else subject.n3()
+        lines = [f"{subject_text}"]
+        for i, triple in enumerate(triples):
+            sep = " ;" if i < len(triples) - 1 else " ."
+            lines.append(f"    {render(triple.predicate)} {render(triple.object)}{sep}")
+        blocks.append("\n".join(lines))
+
+    header_lines = [
+        f"@prefix {prefix}: <{prefixes[prefix].prefix}> ."
+        for prefix in sorted(used_prefixes)
+        if prefix in prefixes
+    ]
+    text = "\n".join(header_lines) + ("\n\n" if header_lines else "") + "\n\n".join(blocks)
+    if blocks:
+        text += "\n"
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+# ---------------------------------------------------------------------------
+# N-Triples parser
+# ---------------------------------------------------------------------------
+
+_NT_IRI = r"<([^>]*)>"
+_NT_BNODE = r"_:([A-Za-z0-9_]+)"
+_NT_LITERAL = r'"((?:[^"\\]|\\.)*)"(?:@([A-Za-z-]+)|\^\^<([^>]*)>)?'
+_NT_LINE = re.compile(
+    rf"^\s*(?:{_NT_IRI}|{_NT_BNODE})\s+{_NT_IRI}\s+(?:{_NT_IRI}|{_NT_BNODE}|{_NT_LITERAL})\s*\.\s*$"
+)
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("\\n", "\n").replace("\\r", "\r").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_literal(lexical: str, language: str | None, datatype: str | None) -> Literal:
+    text = _unescape(lexical)
+    if language:
+        return Literal(text, language=language)
+    if datatype:
+        dt = IRI(datatype)
+        if dt == XSD.integer or dt == XSD.int or dt == XSD.long:
+            return Literal(int(text), datatype=dt)
+        if dt == XSD.double or dt == XSD.float or dt == XSD.decimal:
+            return Literal(float(text), datatype=dt)
+        if dt == XSD.boolean:
+            return Literal(text.strip().lower() == "true", datatype=dt)
+        return Literal(text, datatype=dt)
+    return Literal(text)
+
+
+def parse_ntriples(source: str | Path, identifier: str | None = None) -> Graph:
+    """Parse N-Triples content (string or path) into a :class:`Graph`."""
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and source.endswith(".nt")):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = str(source)
+    graph = Graph(identifier or "http://openbi.example.org/graph/parsed")
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _NT_LINE.match(line)
+        if not match:
+            raise LODError(f"invalid N-Triples at line {line_number}: {raw_line!r}")
+        (s_iri, s_bnode, p_iri, o_iri, o_bnode, o_lex, o_lang, o_dt) = match.groups()
+        subject: Subject = IRI(s_iri) if s_iri else BNode(s_bnode)
+        predicate = IRI(p_iri)
+        if o_iri:
+            obj: Object = IRI(o_iri)
+        elif o_bnode:
+            obj = BNode(o_bnode)
+        else:
+            obj = _parse_literal(o_lex or "", o_lang, o_dt)
+        graph.add_triple(Triple(subject, predicate, obj))
+    return graph

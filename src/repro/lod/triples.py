@@ -1,0 +1,152 @@
+"""Indexed in-memory triple store.
+
+The store maintains three hash indexes (SPO, POS, OSP) so that any triple
+pattern with at least one bound position is answered without a full scan.
+This is the storage layer underneath :class:`repro.lod.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import LODError
+from repro.lod.terms import IRI, BNode, Literal, Object, Predicate, Subject, Triple
+
+
+class TripleStore:
+    """A set of triples with SPO / POS / OSP indexes.
+
+    The store behaves like a set: adding the same triple twice keeps one copy.
+    """
+
+    def __init__(self, triples: Iterable[Triple] | None = None) -> None:
+        self._spo: dict[Subject, dict[Predicate, set[Object]]] = {}
+        self._pos: dict[Predicate, dict[Object, set[Subject]]] = {}
+        self._osp: dict[Object, dict[Subject, set[Predicate]]] = {}
+        self._size = 0
+        if triples:
+            for triple in triples:
+                self.add(triple)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; return ``True`` if it was not present before."""
+        if not isinstance(triple, Triple):
+            raise LODError("TripleStore.add expects a Triple")
+        s, p, o = triple.as_tuple()
+        bucket = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in bucket:
+            return False
+        bucket.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove a triple if present; return ``True`` when something was removed."""
+        s, p, o = triple.as_tuple()
+        bucket = self._spo.get(s, {}).get(p)
+        if not bucket or o not in bucket:
+            return False
+        bucket.discard(o)
+        if not bucket:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple.as_tuple()
+        return o in self._spo.get(s, {}).get(p, set())
+
+    def __iter__(self) -> Iterator[Triple]:
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def match(
+        self,
+        subject: Subject | None = None,
+        predicate: Predicate | None = None,
+        object: Object | None = None,
+    ) -> Iterator[Triple]:
+        """Yield every triple matching the pattern; ``None`` is a wildcard.
+
+        The most selective index available for the bound positions is used.
+        """
+        s, p, o = subject, predicate, object
+        if s is not None:
+            by_predicate = self._spo.get(s, {})
+            predicates = [p] if p is not None else list(by_predicate)
+            for pred in predicates:
+                for obj in by_predicate.get(pred, set()):
+                    if o is None or obj == o:
+                        yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            by_object = self._pos.get(p, {})
+            objects = [o] if o is not None else list(by_object)
+            for obj in objects:
+                for subj in by_object.get(obj, set()):
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            by_subject = self._osp.get(o, {})
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield Triple(subj, pred, o)
+            return
+        yield from iter(self)
+
+    def subjects(self, predicate: Predicate | None = None, object: Object | None = None) -> list[Subject]:
+        """Distinct subjects of triples matching the (predicate, object) pattern."""
+        seen: dict[Subject, None] = {}
+        for triple in self.match(None, predicate, object):
+            seen.setdefault(triple.subject, None)
+        return list(seen)
+
+    def predicates(self, subject: Subject | None = None) -> list[Predicate]:
+        """Distinct predicates used (optionally restricted to one subject)."""
+        seen: dict[Predicate, None] = {}
+        for triple in self.match(subject, None, None):
+            seen.setdefault(triple.predicate, None)
+        return list(seen)
+
+    def objects(self, subject: Subject | None = None, predicate: Predicate | None = None) -> list[Object]:
+        """Distinct objects of triples matching the (subject, predicate) pattern."""
+        seen: dict[Object, None] = {}
+        for triple in self.match(subject, predicate, None):
+            seen.setdefault(triple.object, None)
+        return list(seen)
+
+    def value(self, subject: Subject, predicate: Predicate, default=None):
+        """Return one object for (subject, predicate), or ``default`` when absent."""
+        for triple in self.match(subject, predicate, None):
+            return triple.object
+        return default
+
+    def copy(self) -> "TripleStore":
+        return TripleStore(iter(self))

@@ -1,0 +1,72 @@
+"""Namespaces and the vocabularies used across the library.
+
+Besides the standard RDF/RDFS/OWL/XSD/DCTERMS/FOAF namespaces, two
+vocabularies matter to the reproduction:
+
+* ``QB`` — a minimal subset of the W3C RDF Data Cube vocabulary, used when
+  mining results and OLAP observations are shared back as LOD;
+* ``DQV`` — a minimal subset of the W3C Data Quality Vocabulary, used to
+  publish measured data quality criteria as annotations on a dataset;
+* ``OPENBI`` — the reproduction's own vocabulary for experiment records,
+  knowledge-base entries and algorithm recommendations.
+"""
+
+from __future__ import annotations
+
+from repro.lod.terms import IRI
+
+
+class Namespace:
+    """A convenience factory for IRIs sharing a common prefix.
+
+    ``Namespace("http://ex.org/")["name"]`` and ``Namespace(...).name`` both
+    return ``IRI("http://ex.org/name")``.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def term(self, name: str) -> IRI:
+        return IRI(self._prefix + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Namespace({self._prefix!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+QB = Namespace("http://purl.org/linked-data/cube#")
+DQV = Namespace("http://www.w3.org/ns/dqv#")
+OPENBI = Namespace("http://openbi.example.org/ns#")
+
+#: Prefixes used by the Turtle serialiser, in a stable order.
+DEFAULT_PREFIXES: dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "owl": OWL,
+    "xsd": XSD,
+    "dcterms": DCTERMS,
+    "foaf": FOAF,
+    "qb": QB,
+    "dqv": DQV,
+    "openbi": OPENBI,
+}

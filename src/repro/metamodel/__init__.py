@@ -1,0 +1,41 @@
+"""CWM-like common representation of data sources.
+
+The paper (§3.2.1) proposes using the OMG Common Warehouse Metamodel as the
+"common representation of LOD" onto which measured data quality criteria are
+annotated.  This subpackage provides the subset of CWM that role requires —
+``Catalog → Schema → Table → Column`` with data types and keys — implemented
+as plain Python model elements, plus:
+
+* builders that derive a model from a :class:`~repro.tabular.dataset.Dataset`
+  or from a LOD :class:`~repro.lod.graph.Graph` (the paper's "LOD integration
+  module");
+* a quality-annotation layer (the paper's "data quality module");
+* JSON and XMI-style serialisation;
+* a structural diff between two models.
+"""
+
+from repro.metamodel.elements import Catalog, Schema, Table, ModelColumn, DataType, Key, ModelElement
+from repro.metamodel.builders import model_from_dataset, model_from_lod
+from repro.metamodel.annotations import annotate_quality, read_quality_annotations, QUALITY_ANNOTATION_PREFIX
+from repro.metamodel.serialization import model_to_dict, model_from_dict, model_to_xmi
+from repro.metamodel.diff import diff_models, ModelDiff
+
+__all__ = [
+    "Catalog",
+    "Schema",
+    "Table",
+    "ModelColumn",
+    "DataType",
+    "Key",
+    "ModelElement",
+    "model_from_dataset",
+    "model_from_lod",
+    "annotate_quality",
+    "read_quality_annotations",
+    "QUALITY_ANNOTATION_PREFIX",
+    "model_to_dict",
+    "model_from_dict",
+    "model_to_xmi",
+    "diff_models",
+    "ModelDiff",
+]

@@ -1,0 +1,62 @@
+"""Quality annotations on model elements (the paper's "data quality module")."""
+
+from __future__ import annotations
+
+from repro.exceptions import SchemaError
+from repro.metamodel.elements import Catalog, Table
+from repro.quality.profile import DataQualityProfile
+
+#: Every quality annotation key starts with this prefix.
+QUALITY_ANNOTATION_PREFIX = "dq:"
+
+
+def annotate_quality(table: Table, profile: DataQualityProfile, per_column: bool = True) -> Table:
+    """Attach a measured :class:`DataQualityProfile` to a table (and its columns).
+
+    Table-level annotations: one ``dq:<criterion>`` per measured criterion plus
+    ``dq:overall``.  Column-level annotations: per-column completeness and
+    accuracy where the criterion recorded a per-column breakdown.
+    """
+    for criterion, score in profile.as_dict().items():
+        table.annotate(f"{QUALITY_ANNOTATION_PREFIX}{criterion}", float(score))
+    table.annotate(f"{QUALITY_ANNOTATION_PREFIX}overall", float(profile.overall()))
+    table.annotate(f"{QUALITY_ANNOTATION_PREFIX}profile", profile.to_json_dict())
+    if per_column:
+        for criterion in ("completeness", "accuracy"):
+            if criterion not in profile.criteria():
+                continue
+            per_column_scores = profile.details(criterion).get("per_column", {})
+            for column_name, score in per_column_scores.items():
+                if table.has_column(column_name):
+                    table.column(column_name).annotate(
+                        f"{QUALITY_ANNOTATION_PREFIX}{criterion}", float(score)
+                    )
+    return table
+
+
+def read_quality_annotations(table: Table) -> dict[str, float]:
+    """Read the table-level ``dq:`` scores back (criterion → score)."""
+    result = {}
+    for key, value in table.annotations_with_prefix(QUALITY_ANNOTATION_PREFIX).items():
+        if isinstance(value, (int, float)):
+            result[key[len(QUALITY_ANNOTATION_PREFIX):]] = float(value)
+    if not result:
+        raise SchemaError(f"table {table.name!r} carries no quality annotations")
+    return result
+
+
+def read_quality_profile(table: Table) -> DataQualityProfile:
+    """Reconstruct the full :class:`DataQualityProfile` stored on a table."""
+    payload = table.annotation(f"{QUALITY_ANNOTATION_PREFIX}profile")
+    if payload is None:
+        raise SchemaError(f"table {table.name!r} carries no stored quality profile")
+    return DataQualityProfile.from_json_dict(payload)
+
+
+def annotate_catalog(catalog: Catalog, profiles: dict[str, DataQualityProfile]) -> Catalog:
+    """Annotate every table of a catalog for which a profile is provided."""
+    for table in catalog.all_tables():
+        profile = profiles.get(table.name)
+        if profile is not None:
+            annotate_quality(table, profile)
+    return catalog

@@ -1,0 +1,102 @@
+"""Builders: derive a common-representation model from datasets or LOD graphs.
+
+These correspond to the "data source module" and "LOD integration module" of
+the paper's Eclipse plugin design (§3.3): metadata is obtained from the source
+and the corresponding model is produced.
+"""
+
+from __future__ import annotations
+
+from repro.lod.graph import Graph
+from repro.lod.terms import IRI, Literal
+from repro.lod.vocabulary import OWL, RDF, RDFS
+from repro.metamodel.elements import Catalog, Key, ModelColumn, Schema, Table
+from repro.tabular.dataset import ColumnRole, Dataset
+
+
+def model_from_dataset(
+    dataset: Dataset,
+    catalog_name: str = "openbi",
+    schema_name: str = "sources",
+) -> Catalog:
+    """Build a catalog containing one table mirroring the dataset's columns.
+
+    Column statistics that matter for later annotation (row count, missing
+    cells, distinct counts) are recorded as annotations at build time.
+    """
+    catalog = Catalog(catalog_name)
+    schema = catalog.add_schema(Schema(schema_name))
+    table = schema.add_table(Table(dataset.name))
+    table.annotate("n_rows", dataset.n_rows)
+    identifier_columns = []
+    for column in dataset.columns:
+        model_column = ModelColumn(
+            column.name,
+            datatype=column.ctype,
+            role=column.role,
+            nullable=column.n_missing() > 0,
+        )
+        model_column.annotate("n_missing", column.n_missing())
+        model_column.annotate("n_distinct", len(column.distinct()))
+        table.add_column(model_column)
+        if column.role == ColumnRole.IDENTIFIER:
+            identifier_columns.append(column.name)
+    if identifier_columns:
+        table.add_key(Key(f"{dataset.name}_pk", identifier_columns, primary=True))
+    return catalog
+
+
+def model_from_lod(
+    graph: Graph,
+    catalog_name: str = "openbi",
+    schema_name: str = "lod",
+    classes: list[IRI] | None = None,
+) -> Catalog:
+    """Build a catalog with one table per RDF class found in the graph.
+
+    Each predicate used on a class's instances becomes a column; the column's
+    data type is inferred from the observed literal values (``numeric`` when
+    every observed literal is a number, ``resource`` for object properties).
+    Coverage (share of instances carrying the predicate) is annotated because
+    it drives the dimensionality/sparsity discussion of the paper.
+    """
+    catalog = Catalog(catalog_name)
+    schema = catalog.add_schema(Schema(schema_name))
+    class_histogram = graph.types()
+    selected = classes if classes is not None else sorted(class_histogram, key=lambda c: str(c))
+    for rdf_class in selected:
+        instances = graph.subjects_of_type(rdf_class)
+        if not instances:
+            continue
+        table = schema.add_table(Table(rdf_class.local_name()))
+        table.annotate("class_iri", str(rdf_class))
+        table.annotate("n_rows", len(instances))
+        predicate_stats: dict[IRI, dict[str, float]] = {}
+        for subject in instances:
+            for predicate, objects in graph.properties_of(subject).items():
+                if predicate in (RDF.type, OWL.sameAs):
+                    continue
+                stats = predicate_stats.setdefault(predicate, {"count": 0, "numeric": 0, "literal": 0})
+                stats["count"] += 1
+                for obj in objects:
+                    if isinstance(obj, Literal):
+                        stats["literal"] += 1
+                        if isinstance(obj.python_value(), (int, float)) and not isinstance(obj.python_value(), bool):
+                            stats["numeric"] += 1
+        for predicate, stats in sorted(predicate_stats.items(), key=lambda kv: str(kv[0])):
+            if stats["literal"] == 0:
+                datatype = "resource"
+            elif stats["numeric"] == stats["literal"]:
+                datatype = "numeric"
+            else:
+                datatype = "categorical"
+            name = predicate.local_name() if predicate != RDFS.label else "label"
+            if table.has_column(name):
+                name = f"{name}_{abs(hash(str(predicate))) % 1000}"
+            column = ModelColumn(name, datatype=datatype, nullable=stats["count"] < len(instances))
+            column.annotate("predicate_iri", str(predicate))
+            column.annotate("coverage", stats["count"] / len(instances))
+            table.add_column(column)
+    if not schema.tables:
+        raise ValueError("the LOD graph contains no typed instances to model")
+    return catalog

@@ -1,0 +1,83 @@
+"""Structural diff between two common-representation models.
+
+Open data sources evolve between publications; diffing the model of a fresh
+download against the previously annotated model tells the OpenBI user whether
+past quality annotations and knowledge-base advice still apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metamodel.elements import Catalog, Table
+
+
+@dataclass
+class ModelDiff:
+    """Differences between an ``old`` and a ``new`` catalog."""
+
+    added_tables: list[str] = field(default_factory=list)
+    removed_tables: list[str] = field(default_factory=list)
+    added_columns: dict[str, list[str]] = field(default_factory=dict)
+    removed_columns: dict[str, list[str]] = field(default_factory=dict)
+    retyped_columns: dict[str, list[tuple[str, str, str]]] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        """True when the two models are structurally identical."""
+        return not (
+            self.added_tables
+            or self.removed_tables
+            or self.added_columns
+            or self.removed_columns
+            or self.retyped_columns
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human readable summary."""
+        if self.is_empty():
+            return "models are structurally identical"
+        parts = []
+        if self.added_tables:
+            parts.append(f"tables added: {', '.join(self.added_tables)}")
+        if self.removed_tables:
+            parts.append(f"tables removed: {', '.join(self.removed_tables)}")
+        for table, columns in self.added_columns.items():
+            parts.append(f"{table}: columns added {', '.join(columns)}")
+        for table, columns in self.removed_columns.items():
+            parts.append(f"{table}: columns removed {', '.join(columns)}")
+        for table, changes in self.retyped_columns.items():
+            rendered = ", ".join(f"{name} ({old} -> {new})" for name, old, new in changes)
+            parts.append(f"{table}: columns retyped {rendered}")
+        return "; ".join(parts)
+
+
+def _table_index(catalog: Catalog) -> dict[str, Table]:
+    return {table.name: table for table in catalog.all_tables()}
+
+
+def diff_models(old: Catalog, new: Catalog) -> ModelDiff:
+    """Compute which tables/columns were added, removed or retyped."""
+    diff = ModelDiff()
+    old_tables = _table_index(old)
+    new_tables = _table_index(new)
+    diff.added_tables = sorted(set(new_tables) - set(old_tables))
+    diff.removed_tables = sorted(set(old_tables) - set(new_tables))
+    for name in sorted(set(old_tables) & set(new_tables)):
+        old_table, new_table = old_tables[name], new_tables[name]
+        old_columns = {c.name: c for c in old_table.columns}
+        new_columns = {c.name: c for c in new_table.columns}
+        added = sorted(set(new_columns) - set(old_columns))
+        removed = sorted(set(old_columns) - set(new_columns))
+        if added:
+            diff.added_columns[name] = added
+        if removed:
+            diff.removed_columns[name] = removed
+        retyped = []
+        for column_name in sorted(set(old_columns) & set(new_columns)):
+            old_type = old_columns[column_name].datatype.name
+            new_type = new_columns[column_name].datatype.name
+            if old_type != new_type:
+                retyped.append((column_name, old_type, new_type))
+        if retyped:
+            diff.retyped_columns[name] = retyped
+    return diff

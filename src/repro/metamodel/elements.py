@@ -1,0 +1,183 @@
+"""Model elements of the CWM-like common representation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.exceptions import SchemaError
+
+
+class ModelElement:
+    """Base class: every element has a name and a free-form annotation map.
+
+    Annotations are the extension point the paper relies on: measured data
+    quality criteria are attached to tables and columns as annotations.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SchemaError("model elements need a non-empty name")
+        self.name = name
+        self.annotations: dict[str, Any] = {}
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one annotation."""
+        self.annotations[key] = value
+
+    def annotation(self, key: str, default: Any = None) -> Any:
+        """Read one annotation."""
+        return self.annotations.get(key, default)
+
+    def annotations_with_prefix(self, prefix: str) -> dict[str, Any]:
+        """All annotations whose key starts with ``prefix``."""
+        return {k: v for k, v in self.annotations.items() if k.startswith(prefix)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class DataType(ModelElement):
+    """A named data type (mirrors the library's logical column types)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+
+class ModelColumn(ModelElement):
+    """A column of a :class:`Table` with its data type and optional role."""
+
+    def __init__(self, name: str, datatype: DataType | str, role: str = "feature", nullable: bool = True) -> None:
+        super().__init__(name)
+        self.datatype = datatype if isinstance(datatype, DataType) else DataType(str(datatype))
+        self.role = role
+        self.nullable = nullable
+
+
+class Key(ModelElement):
+    """A (primary or unique) key over a set of column names."""
+
+    def __init__(self, name: str, column_names: Iterable[str], primary: bool = True) -> None:
+        super().__init__(name)
+        self.column_names = list(column_names)
+        if not self.column_names:
+            raise SchemaError("a key needs at least one column")
+        self.primary = primary
+
+
+class Table(ModelElement):
+    """A table (class of records) with ordered columns and optional keys."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._columns: dict[str, ModelColumn] = {}
+        self.keys: list[Key] = []
+
+    # -- columns ---------------------------------------------------------------
+
+    def add_column(self, column: ModelColumn) -> ModelColumn:
+        if column.name in self._columns:
+            raise SchemaError(f"table {self.name!r} already has a column {column.name!r}")
+        self._columns[column.name] = column
+        return column
+
+    def column(self, name: str) -> ModelColumn:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    @property
+    def columns(self) -> list[ModelColumn]:
+        return list(self._columns.values())
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    # -- keys --------------------------------------------------------------------
+
+    def add_key(self, key: Key) -> Key:
+        for column_name in key.column_names:
+            if column_name not in self._columns:
+                raise SchemaError(f"key {key.name!r} references unknown column {column_name!r}")
+        self.keys.append(key)
+        return key
+
+    def primary_key(self) -> Key | None:
+        for key in self.keys:
+            if key.primary:
+                return key
+        return None
+
+
+class Schema(ModelElement):
+    """A named collection of tables."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._tables: dict[str, Table] = {}
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise SchemaError(f"schema {self.name!r} already has a table {table.name!r}")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+
+class Catalog(ModelElement):
+    """The root of a model: a named collection of schemas.
+
+    One catalog typically represents one integrated OpenBI workspace; each
+    open data source becomes a schema (or a table inside a shared schema).
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._schemas: dict[str, Schema] = {}
+
+    def add_schema(self, schema: Schema) -> Schema:
+        if schema.name in self._schemas:
+            raise SchemaError(f"catalog {self.name!r} already has a schema {schema.name!r}")
+        self._schemas[schema.name] = schema
+        return schema
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaError(f"catalog {self.name!r} has no schema {name!r}") from None
+
+    @property
+    def schemas(self) -> list[Schema]:
+        return list(self._schemas.values())
+
+    def all_tables(self) -> list[Table]:
+        """Every table across every schema of the catalog."""
+        tables: list[Table] = []
+        for schema in self._schemas.values():
+            tables.extend(schema.tables)
+        return tables
+
+    def find_table(self, name: str) -> Table | None:
+        """Look a table up by name across all schemas."""
+        for schema in self._schemas.values():
+            if schema.has_table(name):
+                return schema.table(name)
+        return None

@@ -1,0 +1,117 @@
+"""Serialisation of common-representation models (JSON dict and XMI-style XML)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.exceptions import SchemaError
+from repro.metamodel.elements import Catalog, DataType, Key, ModelColumn, Schema, Table
+
+
+def model_to_dict(catalog: Catalog) -> dict[str, Any]:
+    """Serialise a catalog (including annotations) to a JSON-compatible dict."""
+    return {
+        "name": catalog.name,
+        "annotations": dict(catalog.annotations),
+        "schemas": [
+            {
+                "name": schema.name,
+                "annotations": dict(schema.annotations),
+                "tables": [
+                    {
+                        "name": table.name,
+                        "annotations": dict(table.annotations),
+                        "columns": [
+                            {
+                                "name": column.name,
+                                "datatype": column.datatype.name,
+                                "role": column.role,
+                                "nullable": column.nullable,
+                                "annotations": dict(column.annotations),
+                            }
+                            for column in table.columns
+                        ],
+                        "keys": [
+                            {"name": key.name, "columns": list(key.column_names), "primary": key.primary}
+                            for key in table.keys
+                        ],
+                    }
+                    for table in schema.tables
+                ],
+            }
+            for schema in catalog.schemas
+        ],
+    }
+
+
+def model_from_dict(payload: dict[str, Any]) -> Catalog:
+    """Rebuild a catalog from :func:`model_to_dict` output."""
+    if "name" not in payload:
+        raise SchemaError("model payload has no catalog name")
+    catalog = Catalog(payload["name"])
+    catalog.annotations.update(payload.get("annotations", {}))
+    for schema_payload in payload.get("schemas", []):
+        schema = catalog.add_schema(Schema(schema_payload["name"]))
+        schema.annotations.update(schema_payload.get("annotations", {}))
+        for table_payload in schema_payload.get("tables", []):
+            table = schema.add_table(Table(table_payload["name"]))
+            table.annotations.update(table_payload.get("annotations", {}))
+            for column_payload in table_payload.get("columns", []):
+                column = ModelColumn(
+                    column_payload["name"],
+                    datatype=DataType(column_payload.get("datatype", "string")),
+                    role=column_payload.get("role", "feature"),
+                    nullable=bool(column_payload.get("nullable", True)),
+                )
+                column.annotations.update(column_payload.get("annotations", {}))
+                table.add_column(column)
+            for key_payload in table_payload.get("keys", []):
+                table.add_key(
+                    Key(key_payload["name"], key_payload.get("columns", []), primary=bool(key_payload.get("primary", True)))
+                )
+    return catalog
+
+
+def model_to_xmi(catalog: Catalog) -> str:
+    """Serialise a catalog to an XMI-flavoured XML document (CWM style).
+
+    Annotations are emitted as ``taggedValue`` children, mirroring how CWM
+    tools attach measured metadata to model elements.
+    """
+    root = ET.Element("XMI", attrib={"xmi.version": "1.1"})
+    content = ET.SubElement(root, "XMI.content")
+    catalog_element = ET.SubElement(content, "CWM.Catalog", attrib={"name": catalog.name})
+    _append_annotations(catalog_element, catalog.annotations)
+    for schema in catalog.schemas:
+        schema_element = ET.SubElement(catalog_element, "CWM.Schema", attrib={"name": schema.name})
+        _append_annotations(schema_element, schema.annotations)
+        for table in schema.tables:
+            table_element = ET.SubElement(schema_element, "CWM.Table", attrib={"name": table.name})
+            _append_annotations(table_element, table.annotations)
+            for column in table.columns:
+                column_element = ET.SubElement(
+                    table_element,
+                    "CWM.Column",
+                    attrib={
+                        "name": column.name,
+                        "type": column.datatype.name,
+                        "role": column.role,
+                        "nullable": str(column.nullable).lower(),
+                    },
+                )
+                _append_annotations(column_element, column.annotations)
+            for key in table.keys:
+                ET.SubElement(
+                    table_element,
+                    "CWM.UniqueKey" if not key.primary else "CWM.PrimaryKey",
+                    attrib={"name": key.name, "columns": ",".join(key.column_names)},
+                )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _append_annotations(element: ET.Element, annotations: dict[str, Any]) -> None:
+    for key, value in annotations.items():
+        if isinstance(value, (str, int, float, bool)):
+            ET.SubElement(element, "CWM.taggedValue", attrib={"tag": key, "value": str(value)})

@@ -1,0 +1,104 @@
+"""Data mining algorithms implemented from scratch.
+
+The paper's experiments run classical mining techniques over LOD-derived
+datasets under controlled data quality degradations.  This subpackage contains
+self-contained implementations of the algorithm families the paper mentions
+(classification, association rules, clustering, dimensionality reduction)
+together with metrics, validation utilities and preprocessing.
+
+Classifiers and clusterers consume :class:`~repro.tabular.dataset.Dataset`
+objects directly (mixed numeric/categorical features, missing values allowed),
+so the data-quality experiments exercise each algorithm's own robustness
+rather than a shared cleaning pipeline.
+"""
+
+from repro.mining.base import Classifier, Clusterer, Transformer, check_fitted
+from repro.mining.preprocessing import (
+    DatasetEncoder,
+    impute,
+    standardize,
+    variance_threshold,
+    correlation_filter,
+    information_gain_ranking,
+    select_features,
+)
+from repro.mining.metrics import (
+    accuracy,
+    precision_recall_f1,
+    macro_f1,
+    cohen_kappa,
+    confusion_matrix,
+    mean_squared_error,
+    mean_absolute_error,
+    r2_score,
+    silhouette_score,
+    sum_of_squared_errors,
+)
+from repro.mining.validation import train_test_split, stratified_kfold, cross_validate, EvaluationResult
+from repro.mining.tree import DecisionTreeClassifier
+from repro.mining.regression_tree import RegressionTreeLearner
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.knn import KNNClassifier
+from repro.mining.logistic import LogisticRegressionClassifier
+from repro.mining.rule_induction import OneRClassifier, PrismClassifier
+from repro.mining.apriori import Apriori, AssociationRule, dataset_to_transactions
+from repro.mining.kmeans import KMeansClusterer
+from repro.mining.hierarchical import AgglomerativeClusterer
+from repro.mining.pca import PCATransformer
+from repro.mining.ensemble import BaggingClassifier, RandomSubspaceForest
+
+#: Registry of classifier factories by canonical name, used by the experiment
+#: harness and the advisor ("ALGORITHM 1 … ALGORITHM N" in Figure 2).
+CLASSIFIER_REGISTRY = {
+    "decision_tree": DecisionTreeClassifier,
+    "naive_bayes": NaiveBayesClassifier,
+    "knn": KNNClassifier,
+    "logistic_regression": LogisticRegressionClassifier,
+    "one_r": OneRClassifier,
+    "prism": PrismClassifier,
+    "bagged_trees": BaggingClassifier,
+}
+
+__all__ = [
+    "Classifier",
+    "Clusterer",
+    "Transformer",
+    "check_fitted",
+    "DatasetEncoder",
+    "impute",
+    "standardize",
+    "variance_threshold",
+    "correlation_filter",
+    "information_gain_ranking",
+    "select_features",
+    "accuracy",
+    "precision_recall_f1",
+    "macro_f1",
+    "cohen_kappa",
+    "confusion_matrix",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "silhouette_score",
+    "sum_of_squared_errors",
+    "train_test_split",
+    "stratified_kfold",
+    "cross_validate",
+    "EvaluationResult",
+    "DecisionTreeClassifier",
+    "RegressionTreeLearner",
+    "NaiveBayesClassifier",
+    "KNNClassifier",
+    "LogisticRegressionClassifier",
+    "OneRClassifier",
+    "PrismClassifier",
+    "Apriori",
+    "AssociationRule",
+    "dataset_to_transactions",
+    "KMeansClusterer",
+    "AgglomerativeClusterer",
+    "PCATransformer",
+    "BaggingClassifier",
+    "RandomSubspaceForest",
+    "CLASSIFIER_REGISTRY",
+]

@@ -1,0 +1,205 @@
+"""Apriori frequent-itemset mining and association rule generation.
+
+Association rules are the pattern family whose quality measurement the paper
+cites from Berti-Équille; :func:`Apriori.rules` attaches support, confidence,
+lift, leverage and conviction to every rule so the experiment harness can
+study how data quality problems change the rule set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any
+
+from repro.exceptions import MiningError
+from repro.mining.metrics import rule_interestingness
+from repro.tabular.dataset import ColumnRole, Dataset, is_missing_value
+
+
+Item = str
+Itemset = frozenset
+
+
+def dataset_to_transactions(dataset: Dataset, columns: Sequence[str] | None = None, bins: int = 3) -> list[set[str]]:
+    """Convert a dataset into attribute=value transactions.
+
+    Numeric columns are discretised into ``bins`` equal-width bins; missing
+    cells contribute no item.  Identifier/metadata columns are skipped.
+    """
+    from repro.tabular.transforms import discretize
+
+    working = dataset
+    if columns is None:
+        columns = [
+            c.name
+            for c in dataset.columns
+            if c.role not in (ColumnRole.IDENTIFIER, ColumnRole.METADATA)
+        ]
+    for name in columns:
+        if working[name].is_numeric():
+            try:
+                working = discretize(working, name, bins=bins, labels=[f"low", f"mid", f"high", f"very_high"][:bins] if bins <= 4 else None)
+            except Exception:
+                continue
+    transactions: list[set[str]] = []
+    for row in working.iter_rows():
+        items = {
+            f"{name}={row[name]}"
+            for name in columns
+            if name in working and not is_missing_value(row[name])
+        }
+        transactions.append(items)
+    return transactions
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule ``antecedent → consequent`` with its quality measures."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def as_text(self) -> str:
+        lhs = ", ".join(sorted(self.antecedent))
+        rhs = ", ".join(sorted(self.consequent))
+        return f"{{{lhs}}} => {{{rhs}}} (supp={self.support:.3f}, conf={self.confidence:.3f}, lift={self.lift:.2f})"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "antecedent": " & ".join(sorted(self.antecedent)),
+            "consequent": " & ".join(sorted(self.consequent)),
+            "support": self.support,
+            "confidence": self.confidence,
+            "lift": self.lift,
+            "leverage": self.leverage,
+            "conviction": self.conviction if self.conviction != float("inf") else 1e9,
+        }
+
+
+class Apriori:
+    """Classic Apriori with support-based candidate pruning.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum relative support of frequent itemsets.
+    min_confidence:
+        Minimum confidence of generated rules.
+    max_itemset_size:
+        Upper bound on itemset cardinality (keeps the lattice tractable on
+        high-dimensional LOD tabulations).
+    """
+
+    def __init__(self, min_support: float = 0.1, min_confidence: float = 0.6, max_itemset_size: int = 4) -> None:
+        if not 0 < min_support <= 1:
+            raise MiningError("min_support must be in (0, 1]")
+        if not 0 < min_confidence <= 1:
+            raise MiningError("min_confidence must be in (0, 1]")
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_itemset_size = max_itemset_size
+        self.itemsets_: dict[frozenset, float] = {}
+        self._n_transactions = 0
+
+    # -- frequent itemsets -------------------------------------------------------
+
+    def fit(self, transactions: Sequence[Iterable[str]]) -> "Apriori":
+        """Mine frequent itemsets from the transactions."""
+        transactions = [frozenset(t) for t in transactions]
+        self._n_transactions = len(transactions)
+        if self._n_transactions == 0:
+            raise MiningError("no transactions to mine")
+        self.itemsets_ = {}
+
+        # 1-itemsets
+        counts: dict[frozenset, int] = {}
+        for transaction in transactions:
+            for item in transaction:
+                key = frozenset([item])
+                counts[key] = counts.get(key, 0) + 1
+        current = {
+            itemset: count / self._n_transactions
+            for itemset, count in counts.items()
+            if count / self._n_transactions >= self.min_support
+        }
+        self.itemsets_.update(current)
+
+        size = 1
+        while current and size < self.max_itemset_size:
+            size += 1
+            candidates = self._generate_candidates(list(current), size)
+            if not candidates:
+                break
+            counts = {c: 0 for c in candidates}
+            for transaction in transactions:
+                for candidate in candidates:
+                    if candidate <= transaction:
+                        counts[candidate] += 1
+            current = {
+                itemset: count / self._n_transactions
+                for itemset, count in counts.items()
+                if count / self._n_transactions >= self.min_support
+            }
+            self.itemsets_.update(current)
+        return self
+
+    def _generate_candidates(self, previous: list[frozenset], size: int) -> set[frozenset]:
+        candidates: set[frozenset] = set()
+        for i in range(len(previous)):
+            for j in range(i + 1, len(previous)):
+                union = previous[i] | previous[j]
+                if len(union) != size:
+                    continue
+                # Apriori pruning: every (size-1)-subset must be frequent.
+                if all(frozenset(sub) in self.itemsets_ for sub in combinations(union, size - 1)):
+                    candidates.add(union)
+        return candidates
+
+    # -- rules ----------------------------------------------------------------------
+
+    def rules(self) -> list[AssociationRule]:
+        """Generate every rule above ``min_confidence`` from the frequent itemsets."""
+        if not self.itemsets_:
+            raise MiningError("fit() must be called before rules()")
+        generated: list[AssociationRule] = []
+        for itemset, support in self.itemsets_.items():
+            if len(itemset) < 2:
+                continue
+            items = sorted(itemset)
+            for r in range(1, len(items)):
+                for antecedent_items in combinations(items, r):
+                    antecedent = frozenset(antecedent_items)
+                    consequent = itemset - antecedent
+                    support_antecedent = self.itemsets_.get(antecedent)
+                    support_consequent = self.itemsets_.get(consequent)
+                    if support_antecedent is None or support_consequent is None:
+                        continue
+                    measures = rule_interestingness(support_antecedent, support_consequent, support)
+                    if measures["confidence"] < self.min_confidence:
+                        continue
+                    generated.append(
+                        AssociationRule(
+                            antecedent=antecedent,
+                            consequent=consequent,
+                            support=support,
+                            confidence=measures["confidence"],
+                            lift=measures["lift"],
+                            leverage=measures["leverage"],
+                            conviction=measures["conviction"],
+                        )
+                    )
+        generated.sort(key=lambda rule: (-rule.confidence, -rule.support, str(sorted(rule.antecedent))))
+        return generated
+
+    def frequent_itemsets(self, min_size: int = 1) -> list[tuple[frozenset, float]]:
+        """Frequent itemsets of at least ``min_size`` items, by descending support."""
+        selected = [(itemset, support) for itemset, support in self.itemsets_.items() if len(itemset) >= min_size]
+        selected.sort(key=lambda pair: (-pair[1], str(sorted(pair[0]))))
+        return selected

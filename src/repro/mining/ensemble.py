@@ -1,0 +1,138 @@
+"""Ensemble classifiers: bagging and random-subspace committees of base learners.
+
+Ensembles are the natural "extension" experiment for the framework: they trade
+the interpretability the paper's non-expert users need for robustness to noisy
+and incomplete data, so the knowledge base can learn *when* that trade-off is
+worth recommending.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Callable
+from typing import Any
+
+from repro.exceptions import MiningError
+from repro.mining.base import Classifier, check_fitted
+from repro.mining.tree import DecisionTreeClassifier
+from repro.tabular.dataset import Column, ColumnRole, Dataset, is_missing_value
+
+
+class BaggingClassifier(Classifier):
+    """Bootstrap-aggregated committee of base classifiers (default: decision trees).
+
+    Parameters
+    ----------
+    base_factory:
+        Zero-argument callable producing a fresh, unfitted base classifier.
+    n_estimators:
+        Number of committee members.
+    sample_fraction:
+        Size of each bootstrap sample relative to the training set.
+    feature_fraction:
+        Fraction of feature columns given to each member (random subspace);
+        1.0 disables subspacing.
+    seed:
+        Seed controlling both the bootstraps and the subspaces.
+    """
+
+    name = "bagged_trees"
+
+    def __init__(
+        self,
+        base_factory: Callable[[], Classifier] | None = None,
+        n_estimators: int = 11,
+        sample_fraction: float = 1.0,
+        feature_fraction: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise MiningError("n_estimators must be at least 1")
+        if not 0.0 < sample_fraction <= 1.0:
+            raise MiningError("sample_fraction must be in (0, 1]")
+        if not 0.0 < feature_fraction <= 1.0:
+            raise MiningError("feature_fraction must be in (0, 1]")
+        self.base_factory = base_factory or (lambda: DecisionTreeClassifier(max_depth=8))
+        self.n_estimators = n_estimators
+        self.sample_fraction = sample_fraction
+        self.feature_fraction = feature_fraction
+        self.seed = seed
+        self.estimators_: list[Classifier] = []
+        self.estimator_features_: list[list[str]] = []
+
+    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
+        rng = random.Random(self.seed)
+        labelled = [i for i, value in enumerate(target.tolist()) if not is_missing_value(value)]
+        if not labelled:
+            raise MiningError("no labelled rows to train on")
+        feature_names = [column.name for column in features]
+        n_subspace = max(1, int(round(self.feature_fraction * len(feature_names))))
+        n_sample = max(2, int(round(self.sample_fraction * len(labelled))))
+
+        self.estimators_ = []
+        self.estimator_features_ = []
+        for _ in range(self.n_estimators):
+            indices = [labelled[rng.randrange(len(labelled))] for _ in range(n_sample)]
+            subset = dataset.take(indices)
+            if n_subspace < len(feature_names):
+                chosen = rng.sample(feature_names, n_subspace)
+                kept = [c.name for c in subset.columns if c.role != ColumnRole.FEATURE or c.name in chosen]
+                subset = subset.select_columns(kept)
+                member_features = chosen
+            else:
+                member_features = list(feature_names)
+            member = self.base_factory()
+            member.fit(subset)
+            self.estimators_.append(member)
+            self.estimator_features_.append(member_features)
+
+    def _member_votes(self, dataset: Dataset) -> list[list[str]]:
+        """Return per-row lists of member predictions."""
+        per_member = [member.predict(dataset) for member in self.estimators_]
+        return [
+            [str(per_member[m][i]) for m in range(len(self.estimators_))]
+            for i in range(dataset.n_rows)
+        ]
+
+    def _predict_row(self, row: dict[str, Any]) -> str:  # pragma: no cover - unused path
+        raise MiningError("BaggingClassifier predicts dataset-wise; use predict()")
+
+    def predict(self, dataset: Dataset) -> list[str]:
+        check_fitted(self)
+        predictions = []
+        for votes in self._member_votes(dataset):
+            counts = Counter(votes)
+            predictions.append(max(sorted(counts), key=counts.get))
+        return predictions
+
+    def predict_proba(self, dataset: Dataset) -> list[dict[str, float]]:
+        check_fitted(self)
+        results = []
+        for votes in self._member_votes(dataset):
+            counts = Counter(votes)
+            total = sum(counts.values()) or 1
+            results.append({cls: counts.get(cls, 0) / total for cls in self.classes_})
+        return results
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["n_estimators"] = len(self.estimators_)
+        description["feature_fraction"] = self.feature_fraction
+        return description
+
+
+class RandomSubspaceForest(BaggingClassifier):
+    """Bagging with per-member random feature subspaces (a lightweight random forest)."""
+
+    name = "random_subspace_forest"
+
+    def __init__(self, n_estimators: int = 15, feature_fraction: float = 0.6, seed: int = 0) -> None:
+        super().__init__(
+            base_factory=lambda: DecisionTreeClassifier(max_depth=8, min_samples_split=4),
+            n_estimators=n_estimators,
+            sample_fraction=1.0,
+            feature_fraction=feature_fraction,
+            seed=seed,
+        )

@@ -1,0 +1,81 @@
+"""Agglomerative hierarchical clustering (single / complete / average linkage)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.base import Clusterer
+from repro.mining.preprocessing import DatasetEncoder
+from repro.tabular.dataset import Dataset
+
+
+class AgglomerativeClusterer(Clusterer):
+    """Bottom-up hierarchical clustering cut at ``n_clusters``.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters to keep after merging.
+    linkage:
+        ``"single"``, ``"complete"`` or ``"average"``.
+    """
+
+    name = "agglomerative"
+
+    def __init__(self, n_clusters: int = 3, linkage: str = "average") -> None:
+        super().__init__()
+        if n_clusters < 1:
+            raise MiningError("n_clusters must be at least 1")
+        if linkage not in ("single", "complete", "average"):
+            raise MiningError(f"unknown linkage {linkage!r}")
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.merge_history_: list[tuple[int, int, float]] = []
+
+    def fit(self, dataset: Dataset) -> "AgglomerativeClusterer":
+        encoder = DatasetEncoder(scale=True)
+        X = encoder.fit_transform(dataset)
+        n = X.shape[0]
+        if n < self.n_clusters:
+            raise MiningError(f"cannot form {self.n_clusters} clusters from {n} rows")
+
+        distances = np.sqrt(((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2))
+        clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+        self.merge_history_ = []
+
+        def cluster_distance(a: list[int], b: list[int]) -> float:
+            block = distances[np.ix_(a, b)]
+            if self.linkage == "single":
+                return float(block.min())
+            if self.linkage == "complete":
+                return float(block.max())
+            return float(block.mean())
+
+        next_id = n
+        while len(clusters) > self.n_clusters:
+            best_pair = None
+            best_distance = math.inf
+            ids = sorted(clusters)
+            for i in range(len(ids)):
+                for j in range(i + 1, len(ids)):
+                    d = cluster_distance(clusters[ids[i]], clusters[ids[j]])
+                    if d < best_distance:
+                        best_distance = d
+                        best_pair = (ids[i], ids[j])
+            if best_pair is None:
+                break
+            a, b = best_pair
+            clusters[next_id] = clusters.pop(a) + clusters.pop(b)
+            self.merge_history_.append((a, b, best_distance))
+            next_id += 1
+
+        labels = np.zeros(n, dtype=int)
+        for label, (_, members) in enumerate(sorted(clusters.items())):
+            for index in members:
+                labels[index] = label
+        self.labels_ = labels.tolist()
+        self._fitted = True
+        return self

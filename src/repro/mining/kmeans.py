@@ -1,0 +1,83 @@
+"""Lloyd's k-means clustering over the numeric view of a dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.base import Clusterer
+from repro.mining.preprocessing import DatasetEncoder
+from repro.tabular.dataset import Dataset
+
+
+class KMeansClusterer(Clusterer):
+    """k-means with k-means++ style seeding and a fixed iteration budget.
+
+    Mixed-type datasets are encoded with :class:`DatasetEncoder` (one-hot +
+    standardised numerics) so clustering also works on LOD tabulations.
+    """
+
+    name = "kmeans"
+
+    def __init__(self, k: int = 3, max_iterations: int = 100, seed: int = 0, tolerance: float = 1e-6) -> None:
+        super().__init__()
+        if k < 1:
+            raise MiningError("k must be at least 1")
+        self.k = k
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.tolerance = tolerance
+        self.centroids_: np.ndarray | None = None
+        self.inertia_: float = float("nan")
+        self._encoder: DatasetEncoder | None = None
+
+    def _seed_centroids(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centroids = [X[rng.integers(n)]]
+        for _ in range(1, self.k):
+            distances = np.min(
+                np.stack([((X - c) ** 2).sum(axis=1) for c in centroids]), axis=0
+            )
+            total = distances.sum()
+            if total <= 0:
+                centroids.append(X[rng.integers(n)])
+                continue
+            probabilities = distances / total
+            centroids.append(X[rng.choice(n, p=probabilities)])
+        return np.stack(centroids)
+
+    def fit(self, dataset: Dataset) -> "KMeansClusterer":
+        self._encoder = DatasetEncoder(scale=True)
+        X = self._encoder.fit_transform(dataset)
+        n = X.shape[0]
+        if n < self.k:
+            raise MiningError(f"cannot form {self.k} clusters from {n} rows")
+        rng = np.random.default_rng(self.seed)
+        centroids = self._seed_centroids(X, rng)
+        labels = np.zeros(n, dtype=int)
+        for _ in range(self.max_iterations):
+            distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            labels = distances.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(self.k):
+                members = X[labels == cluster]
+                if members.shape[0] > 0:
+                    new_centroids[cluster] = members.mean(axis=0)
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            if shift < self.tolerance:
+                break
+        self.centroids_ = centroids
+        self.labels_ = labels.tolist()
+        distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        self.inertia_ = float(distances[np.arange(n), labels].sum())
+        self._fitted = True
+        return self
+
+    def predict(self, dataset: Dataset) -> list[int]:
+        """Assign each row of a new dataset to its nearest fitted centroid."""
+        if not self._fitted or self.centroids_ is None or self._encoder is None:
+            raise MiningError("KMeansClusterer must be fitted before predict")
+        X = self._encoder.transform(dataset)
+        distances = ((X[:, None, :] - self.centroids_[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1).astype(int).tolist()

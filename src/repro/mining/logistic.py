@@ -1,0 +1,113 @@
+"""Multinomial logistic regression trained by gradient descent.
+
+Features are encoded through :class:`~repro.mining.preprocessing.DatasetEncoder`
+(one-hot categorical features, mean-imputed and standardised numeric features),
+so unlike the tree/NB/k-NN implementations the algorithm sees a fully numeric
+design matrix.  Its sensitivity to correlated/redundant attributes therefore
+differs from the other classifiers — a contrast the knowledge base captures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.base import Classifier, check_fitted
+from repro.mining.preprocessing import DatasetEncoder
+from repro.tabular.dataset import Column, Dataset, is_missing_value
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegressionClassifier(Classifier):
+    """Softmax regression with L2 regularisation and full-batch gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient descent step size.
+    epochs:
+        Number of full-batch iterations.
+    l2:
+        L2 penalty strength on the weights (not the bias).
+    """
+
+    name = "logistic_regression"
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 300, l2: float = 1e-3, seed: int = 0) -> None:
+        super().__init__()
+        if learning_rate <= 0 or epochs < 1:
+            raise MiningError("learning_rate must be positive and epochs at least 1")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self._encoder: DatasetEncoder | None = None
+        self._weights: np.ndarray | None = None
+        self._bias: np.ndarray | None = None
+        self._class_index: dict[str, int] = {}
+
+    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
+        labelled = [i for i, v in enumerate(target.tolist()) if not is_missing_value(v)]
+        working = dataset.take(labelled)
+        self._encoder = DatasetEncoder(scale=True)
+        X = self._encoder.fit_transform(working)
+        labels = [str(v) for v in working[target.name].tolist()]
+        self._class_index = {cls: i for i, cls in enumerate(self.classes_)}
+        y = np.asarray([self._class_index[label] for label in labels], dtype=int)
+
+        n, d = X.shape
+        k = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        self._weights = rng.normal(scale=0.01, size=(d, k))
+        self._bias = np.zeros(k)
+        one_hot = np.zeros((n, k))
+        one_hot[np.arange(n), y] = 1.0
+
+        for _ in range(self.epochs):
+            logits = X @ self._weights + self._bias
+            probs = _softmax(logits)
+            error = probs - one_hot
+            grad_w = X.T @ error / n + self.l2 * self._weights
+            grad_b = error.mean(axis=0)
+            self._weights -= self.learning_rate * grad_w
+            self._bias -= self.learning_rate * grad_b
+
+    def _predict_row(self, row: dict[str, Any]) -> str:  # pragma: no cover - unused path
+        raise MiningError("LogisticRegressionClassifier predicts dataset-wise; use predict()")
+
+    def predict(self, dataset: Dataset) -> list[str]:
+        check_fitted(self)
+        probs = self._probabilities(dataset)
+        indices = probs.argmax(axis=1)
+        return [self.classes_[int(i)] for i in indices]
+
+    def predict_proba(self, dataset: Dataset) -> list[dict[str, float]]:
+        check_fitted(self)
+        probs = self._probabilities(dataset)
+        return [
+            {cls: float(row[self._class_index[cls]]) for cls in self.classes_}
+            for row in probs
+        ]
+
+    def _probabilities(self, dataset: Dataset) -> np.ndarray:
+        if self._encoder is None or self._weights is None:
+            raise MiningError("model has not been fitted")
+        X = self._encoder.transform(dataset)
+        return _softmax(X @ self._weights + self._bias)
+
+    def coefficients(self) -> dict[str, dict[str, float]]:
+        """Per-class weight of every encoded feature (for reporting)."""
+        check_fitted(self)
+        result: dict[str, dict[str, float]] = {}
+        for j, label in enumerate(self._encoder.feature_labels_):
+            result[label] = {
+                cls: float(self._weights[j, self._class_index[cls]]) for cls in self.classes_
+            }
+        return result

@@ -1,0 +1,200 @@
+"""Evaluation metrics for classification, regression, clustering and rules."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+
+
+def _as_strings(values: Sequence[Any]) -> list[str]:
+    return [str(v) for v in values]
+
+
+def _check_lengths(truth: Sequence[Any], predicted: Sequence[Any]) -> None:
+    if len(truth) != len(predicted):
+        raise MiningError(f"length mismatch: {len(truth)} true labels vs {len(predicted)} predictions")
+    if not truth:
+        raise MiningError("cannot compute a metric over zero examples")
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+def accuracy(truth: Sequence[Any], predicted: Sequence[Any]) -> float:
+    """Fraction of exactly matching labels."""
+    _check_lengths(truth, predicted)
+    t, p = _as_strings(truth), _as_strings(predicted)
+    return sum(1 for a, b in zip(t, p) if a == b) / len(t)
+
+
+def confusion_matrix(truth: Sequence[Any], predicted: Sequence[Any]) -> tuple[list[str], np.ndarray]:
+    """Return (ordered labels, matrix) where rows are truth and columns predictions."""
+    _check_lengths(truth, predicted)
+    t, p = _as_strings(truth), _as_strings(predicted)
+    labels = sorted(set(t) | set(p))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for a, b in zip(t, p):
+        matrix[index[a], index[b]] += 1
+    return labels, matrix
+
+
+def precision_recall_f1(truth: Sequence[Any], predicted: Sequence[Any]) -> dict[str, dict[str, float]]:
+    """Per-class precision, recall and F1."""
+    labels, matrix = confusion_matrix(truth, predicted)
+    result: dict[str, dict[str, float]] = {}
+    for i, label in enumerate(labels):
+        tp = float(matrix[i, i])
+        fp = float(matrix[:, i].sum() - tp)
+        fn = float(matrix[i, :].sum() - tp)
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+        result[label] = {"precision": precision, "recall": recall, "f1": f1}
+    return result
+
+
+def macro_f1(truth: Sequence[Any], predicted: Sequence[Any]) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    per_class = precision_recall_f1(truth, predicted)
+    return float(np.mean([stats["f1"] for stats in per_class.values()]))
+
+
+def cohen_kappa(truth: Sequence[Any], predicted: Sequence[Any]) -> float:
+    """Cohen's kappa: agreement corrected for chance."""
+    labels, matrix = confusion_matrix(truth, predicted)
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    observed = np.trace(matrix) / total
+    expected = float((matrix.sum(axis=0) * matrix.sum(axis=1)).sum()) / (total * total)
+    if expected == 1.0:
+        return 0.0
+    return float((observed - expected) / (1.0 - expected))
+
+
+def classification_report(truth: Sequence[Any], predicted: Sequence[Any]) -> dict[str, float]:
+    """Bundle accuracy, macro-F1 and kappa into one dictionary."""
+    return {
+        "accuracy": accuracy(truth, predicted),
+        "macro_f1": macro_f1(truth, predicted),
+        "kappa": cohen_kappa(truth, predicted),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Regression
+# ---------------------------------------------------------------------------
+
+def mean_squared_error(truth: Sequence[float], predicted: Sequence[float]) -> float:
+    _check_lengths(truth, predicted)
+    t = np.asarray(list(truth), dtype=float)
+    p = np.asarray(list(predicted), dtype=float)
+    return float(np.mean((t - p) ** 2))
+
+
+def mean_absolute_error(truth: Sequence[float], predicted: Sequence[float]) -> float:
+    _check_lengths(truth, predicted)
+    t = np.asarray(list(truth), dtype=float)
+    p = np.asarray(list(predicted), dtype=float)
+    return float(np.mean(np.abs(t - p)))
+
+
+def r2_score(truth: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 is the mean predictor."""
+    _check_lengths(truth, predicted)
+    t = np.asarray(list(truth), dtype=float)
+    p = np.asarray(list(predicted), dtype=float)
+    ss_res = float(((t - p) ** 2).sum())
+    ss_tot = float(((t - t.mean()) ** 2).sum())
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+# ---------------------------------------------------------------------------
+# Clustering
+# ---------------------------------------------------------------------------
+
+def sum_of_squared_errors(matrix: np.ndarray, labels: Sequence[int], centroids: np.ndarray) -> float:
+    """Total within-cluster squared distance to the assigned centroid."""
+    labels = np.asarray(list(labels), dtype=int)
+    if matrix.shape[0] != labels.shape[0]:
+        raise MiningError("matrix and labels disagree on the number of rows")
+    total = 0.0
+    for i, label in enumerate(labels):
+        diff = matrix[i] - centroids[label]
+        total += float(np.dot(diff, diff))
+    return total
+
+
+def silhouette_score(matrix: np.ndarray, labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient over all points (euclidean distance)."""
+    labels = np.asarray(list(labels), dtype=int)
+    n = matrix.shape[0]
+    if n != labels.shape[0]:
+        raise MiningError("matrix and labels disagree on the number of rows")
+    unique = sorted(set(labels.tolist()))
+    if len(unique) < 2:
+        return 0.0
+    distances = np.sqrt(((matrix[:, None, :] - matrix[None, :, :]) ** 2).sum(axis=2))
+    scores = []
+    for i in range(n):
+        own = labels[i]
+        same = (labels == own) & (np.arange(n) != i)
+        a = float(distances[i, same].mean()) if same.any() else 0.0
+        b = math.inf
+        for other in unique:
+            if other == own:
+                continue
+            mask = labels == other
+            if mask.any():
+                b = min(b, float(distances[i, mask].mean()))
+        if not math.isfinite(b):
+            scores.append(0.0)
+            continue
+        denom = max(a, b)
+        scores.append((b - a) / denom if denom > 0 else 0.0)
+    return float(np.mean(scores))
+
+
+# ---------------------------------------------------------------------------
+# Association rules
+# ---------------------------------------------------------------------------
+
+def rule_interestingness(
+    support_antecedent: float,
+    support_consequent: float,
+    support_rule: float,
+) -> dict[str, float]:
+    """Confidence, lift, leverage and conviction of an association rule.
+
+    All inputs are relative supports in [0, 1].  These are the "quality of
+    association rules" measures the paper attributes to Berti-Équille [2].
+    """
+    for name, value in (
+        ("support_antecedent", support_antecedent),
+        ("support_consequent", support_consequent),
+        ("support_rule", support_rule),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise MiningError(f"{name} must be in [0, 1], got {value}")
+    confidence = support_rule / support_antecedent if support_antecedent > 0 else 0.0
+    lift = confidence / support_consequent if support_consequent > 0 else 0.0
+    leverage = support_rule - support_antecedent * support_consequent
+    if confidence >= 1.0:
+        conviction = math.inf
+    else:
+        conviction = (1.0 - support_consequent) / (1.0 - confidence) if confidence < 1.0 else math.inf
+    return {
+        "confidence": confidence,
+        "lift": lift,
+        "leverage": leverage,
+        "conviction": conviction,
+    }

@@ -1,0 +1,137 @@
+"""Naive Bayes classifier for mixed numeric/categorical features.
+
+Numeric features use a per-class Gaussian likelihood; categorical, boolean and
+datetime features use per-class frequency estimates with Laplace smoothing.
+Missing feature values are simply skipped at prediction time, which makes the
+algorithm comparatively robust to low completeness — one of the behaviours the
+knowledge base is expected to learn (paper, §3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.base import Classifier
+from repro.tabular.dataset import Column, Dataset, is_missing_value
+
+_MIN_VARIANCE = 1e-9
+
+
+class NaiveBayesClassifier(Classifier):
+    """Gaussian / multinomial naive Bayes with Laplace smoothing.
+
+    Parameters
+    ----------
+    laplace:
+        Additive smoothing constant for categorical likelihoods.
+    """
+
+    name = "naive_bayes"
+
+    def __init__(self, laplace: float = 1.0) -> None:
+        super().__init__()
+        if laplace <= 0:
+            raise MiningError("laplace smoothing constant must be positive")
+        self.laplace = laplace
+        self._priors: dict[str, float] = {}
+        self._gaussians: dict[str, dict[str, tuple[float, float]]] = {}
+        self._categorical: dict[str, dict[str, dict[str, float]]] = {}
+        self._category_levels: dict[str, set[str]] = {}
+        self._numeric_features: list[str] = []
+        self._categorical_features: list[str] = []
+
+    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
+        labels = [None if is_missing_value(v) else str(v) for v in target.tolist()]
+        class_counts = Counter(l for l in labels if l is not None)
+        total = sum(class_counts.values())
+        self._priors = {cls: count / total for cls, count in class_counts.items()}
+
+        self._numeric_features = [c.name for c in features if c.is_numeric()]
+        self._categorical_features = [c.name for c in features if not c.is_numeric()]
+
+        # Gaussian parameters per (class, numeric feature).
+        self._gaussians = {cls: {} for cls in class_counts}
+        for column in features:
+            if not column.is_numeric():
+                continue
+            per_class: dict[str, list[float]] = defaultdict(list)
+            for value, label in zip(column.tolist(), labels):
+                if label is None or is_missing_value(value):
+                    continue
+                per_class[label].append(float(value))
+            for cls in class_counts:
+                values = per_class.get(cls, [])
+                if values:
+                    mean = float(np.mean(values))
+                    var = float(np.var(values)) + _MIN_VARIANCE
+                else:
+                    mean, var = 0.0, 1.0
+                self._gaussians[cls][column.name] = (mean, var)
+
+        # Frequency tables per (class, categorical feature).
+        self._categorical = {cls: {} for cls in class_counts}
+        self._category_levels = {}
+        for column in features:
+            if column.is_numeric():
+                continue
+            levels = {str(v) for v in column.distinct()}
+            self._category_levels[column.name] = levels
+            per_class: dict[str, Counter] = {cls: Counter() for cls in class_counts}
+            for value, label in zip(column.tolist(), labels):
+                if label is None or is_missing_value(value):
+                    continue
+                per_class[label][str(value)] += 1
+            for cls in class_counts:
+                counts = per_class[cls]
+                denom = sum(counts.values()) + self.laplace * max(len(levels), 1)
+                self._categorical[cls][column.name] = {
+                    level: (counts.get(level, 0) + self.laplace) / denom for level in levels
+                }
+
+    def _log_likelihood(self, row: dict[str, Any], cls: str) -> float:
+        score = math.log(self._priors.get(cls, 1e-12))
+        for name in self._numeric_features:
+            value = row.get(name)
+            if is_missing_value(value):
+                continue
+            mean, var = self._gaussians[cls].get(name, (0.0, 1.0))
+            try:
+                x = float(value)
+            except (TypeError, ValueError):
+                continue
+            score += -0.5 * math.log(2 * math.pi * var) - ((x - mean) ** 2) / (2 * var)
+        for name in self._categorical_features:
+            value = row.get(name)
+            if is_missing_value(value):
+                continue
+            table = self._categorical[cls].get(name, {})
+            levels = self._category_levels.get(name, set())
+            default = self.laplace / (self.laplace * max(len(levels), 1) + 1.0)
+            score += math.log(table.get(str(value), default))
+        return score
+
+    def _predict_row(self, row: dict[str, Any]) -> str:
+        if not self._priors:
+            raise MiningError("model has not been fitted")
+        scores = {cls: self._log_likelihood(row, cls) for cls in self._priors}
+        return max(sorted(scores), key=scores.get)
+
+    def predict_proba(self, dataset: Dataset) -> list[dict[str, float]]:
+        from repro.mining.base import check_fitted
+
+        check_fitted(self)
+        results = []
+        for row in dataset.iter_rows():
+            features_only = {name: row.get(name) for name in self.feature_names_}
+            log_scores = {cls: self._log_likelihood(features_only, cls) for cls in self._priors}
+            peak = max(log_scores.values())
+            exp_scores = {cls: math.exp(score - peak) for cls, score in log_scores.items()}
+            norm = sum(exp_scores.values()) or 1.0
+            probs = {cls: exp_scores.get(cls, 0.0) / norm for cls in self.classes_}
+            results.append(probs)
+        return results

@@ -1,0 +1,268 @@
+"""Preprocessing: encoding, imputation, scaling and feature selection.
+
+The paper stresses that preprocessing "has a significant impact on the quality
+of the results of the applied data mining algorithms" and "requires
+significantly more effort than the data mining task itself" (§1).  These
+utilities are the automated preprocessing steps the framework can apply and
+report to the non-expert user.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.tabular.dataset import Column, ColumnRole, ColumnType, Dataset, is_missing_value
+from repro.tabular.stats import entropy as column_entropy, mutual_information
+
+
+# ---------------------------------------------------------------------------
+# Imputation
+# ---------------------------------------------------------------------------
+
+def impute(dataset: Dataset, strategy: str = "mean_mode") -> Dataset:
+    """Fill missing cells.
+
+    Strategies
+    ----------
+    ``mean_mode``
+        Numeric columns get their mean, other columns get their mode.
+    ``median_mode``
+        Numeric columns get their median instead.
+    ``constant``
+        Numeric columns get 0.0 and other columns the string ``"missing"``.
+    ``drop_rows``
+        Rows containing any missing feature value are removed.
+    """
+    if strategy not in ("mean_mode", "median_mode", "constant", "drop_rows"):
+        raise MiningError(f"unknown imputation strategy {strategy!r}")
+    if strategy == "drop_rows":
+        keep = []
+        feature_names = [c.name for c in dataset.columns if c.role != ColumnRole.IDENTIFIER]
+        for i, row in enumerate(dataset.iter_rows()):
+            if not any(is_missing_value(row[name]) for name in feature_names):
+                keep.append(i)
+        if not keep:
+            raise MiningError("drop_rows imputation would remove every row")
+        return dataset.take(keep)
+
+    columns = []
+    for column in dataset.columns:
+        mask = column.missing_mask()
+        if not mask.any():
+            columns.append(column.copy())
+            continue
+        values = column.tolist()
+        if column.is_numeric():
+            present = [v for v in values if not is_missing_value(v)]
+            if strategy == "constant" or not present:
+                fill: Any = 0.0
+            elif strategy == "median_mode":
+                fill = float(np.median(present))
+            else:
+                fill = float(np.mean(present))
+        else:
+            counts = column.value_counts()
+            if strategy == "constant" or not counts:
+                fill = "missing"
+            else:
+                fill = max(counts, key=counts.get)
+        filled = [fill if is_missing_value(v) else v for v in values]
+        columns.append(Column(column.name, filled, ctype=column.ctype, role=column.role))
+    return Dataset(columns, name=dataset.name)
+
+
+# ---------------------------------------------------------------------------
+# Scaling
+# ---------------------------------------------------------------------------
+
+def standardize(dataset: Dataset, columns: Sequence[str] | None = None) -> Dataset:
+    """Z-score numeric feature columns (missing values preserved)."""
+    from repro.tabular.transforms import normalize
+
+    return normalize(dataset, columns=columns, method="zscore")
+
+
+# ---------------------------------------------------------------------------
+# Encoding to a numeric matrix
+# ---------------------------------------------------------------------------
+
+class DatasetEncoder:
+    """Encode a mixed-type dataset into a dense numeric matrix.
+
+    Numeric features are mean-imputed and optionally standardised; categorical,
+    boolean and datetime features are one-hot encoded (missing becomes an
+    all-zero block).  The encoder is fitted on training data and can then be
+    applied consistently to test data.
+    """
+
+    def __init__(self, scale: bool = True, max_one_hot: int = 50) -> None:
+        self.scale = scale
+        self.max_one_hot = max_one_hot
+        self._fitted = False
+        self._numeric: list[str] = []
+        self._categorical: dict[str, list[Any]] = {}
+        self._means: dict[str, float] = {}
+        self._stds: dict[str, float] = {}
+        self.feature_labels_: list[str] = []
+
+    def fit(self, dataset: Dataset) -> "DatasetEncoder":
+        """Learn column statistics and category levels from ``dataset``."""
+        self._numeric = []
+        self._categorical = {}
+        self._means = {}
+        self._stds = {}
+        self.feature_labels_ = []
+        for column in dataset.feature_columns():
+            if column.is_numeric():
+                present = np.asarray(column.non_missing(), dtype=float)
+                mean = float(present.mean()) if present.size else 0.0
+                std = float(present.std()) if present.size else 1.0
+                self._numeric.append(column.name)
+                self._means[column.name] = mean
+                self._stds[column.name] = std if std > 0 else 1.0
+                self.feature_labels_.append(column.name)
+            else:
+                levels = [str(v) for v in column.distinct()][: self.max_one_hot]
+                self._categorical[column.name] = levels
+                self.feature_labels_.extend(f"{column.name}={level}" for level in levels)
+        if not self.feature_labels_:
+            raise MiningError("no feature columns to encode")
+        self._fitted = True
+        return self
+
+    def transform(self, dataset: Dataset) -> np.ndarray:
+        """Encode ``dataset`` using the fitted parameters."""
+        if not self._fitted:
+            raise MiningError("DatasetEncoder must be fitted before transform")
+        n = dataset.n_rows
+        blocks: list[np.ndarray] = []
+        for name in self._numeric:
+            if name in dataset:
+                raw = dataset[name].values.astype(float)
+            else:
+                raw = np.full(n, np.nan)
+            filled = np.where(np.isnan(raw), self._means[name], raw)
+            if self.scale:
+                filled = (filled - self._means[name]) / self._stds[name]
+            blocks.append(filled.reshape(-1, 1))
+        for name, levels in self._categorical.items():
+            block = np.zeros((n, len(levels)))
+            if name in dataset:
+                values = dataset[name].tolist()
+                index = {level: j for j, level in enumerate(levels)}
+                for i, value in enumerate(values):
+                    if is_missing_value(value):
+                        continue
+                    j = index.get(str(value))
+                    if j is not None:
+                        block[i, j] = 1.0
+            blocks.append(block)
+        return np.hstack(blocks) if blocks else np.empty((n, 0))
+
+    def fit_transform(self, dataset: Dataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)
+
+
+def encode_labels(values: Sequence[Any]) -> tuple[np.ndarray, list[str]]:
+    """Encode class labels as integers; returns (codes, ordered label list)."""
+    labels = sorted({str(v) for v in values if not is_missing_value(v)})
+    index = {label: i for i, label in enumerate(labels)}
+    codes = np.asarray([index.get(str(v), -1) for v in values], dtype=int)
+    return codes, labels
+
+
+# ---------------------------------------------------------------------------
+# Feature selection
+# ---------------------------------------------------------------------------
+
+def variance_threshold(dataset: Dataset, threshold: float = 0.0) -> list[str]:
+    """Names of numeric feature columns whose variance exceeds ``threshold``."""
+    selected = []
+    for column in dataset.feature_columns():
+        if not column.is_numeric():
+            selected.append(column.name)
+            continue
+        present = np.asarray(column.non_missing(), dtype=float)
+        if present.size > 1 and float(present.var()) > threshold:
+            selected.append(column.name)
+    return selected
+
+
+def correlation_filter(dataset: Dataset, threshold: float = 0.95) -> list[str]:
+    """Drop numeric features that are highly correlated with an earlier feature.
+
+    Returns the names of the retained feature columns (non-numeric features
+    are always retained).  This directly addresses the paper's example of
+    strongly correlated attributes producing correct but useless patterns.
+    """
+    from repro.tabular.stats import pearson
+
+    numeric = [c for c in dataset.feature_columns() if c.is_numeric()]
+    retained: list[Column] = []
+    for candidate in numeric:
+        redundant = False
+        for kept in retained:
+            corr = pearson(candidate.values, kept.values)
+            if not math.isnan(corr) and abs(corr) >= threshold:
+                redundant = True
+                break
+        if not redundant:
+            retained.append(candidate)
+    retained_names = {c.name for c in retained}
+    return [
+        c.name
+        for c in dataset.feature_columns()
+        if not c.is_numeric() or c.name in retained_names
+    ]
+
+
+def information_gain_ranking(dataset: Dataset, bins: int = 4) -> list[tuple[str, float]]:
+    """Rank features by mutual information with the target (descending).
+
+    Numeric features are discretised into ``bins`` equal-width bins before the
+    mutual information is computed.
+    """
+    from repro.tabular.transforms import discretize
+
+    target = dataset.target_column()
+    scores: list[tuple[str, float]] = []
+    for column in dataset.feature_columns():
+        if column.is_numeric():
+            try:
+                working = discretize(
+                    Dataset([column.copy(), target.copy()], name="tmp"), column.name, bins=bins
+                )
+                feature = working[column.name]
+            except Exception:
+                scores.append((column.name, 0.0))
+                continue
+        else:
+            feature = column
+        scores.append((column.name, mutual_information(feature, target)))
+    scores.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scores
+
+
+def select_features(dataset: Dataset, k: int, method: str = "information_gain") -> Dataset:
+    """Keep the ``k`` best feature columns (plus target/identifier columns)."""
+    if k < 1:
+        raise MiningError("k must be at least 1")
+    if method == "information_gain":
+        ranking = information_gain_ranking(dataset)
+        keep = {name for name, _ in ranking[:k]}
+    elif method == "variance":
+        names = variance_threshold(dataset)
+        keep = set(names[:k])
+    else:
+        raise MiningError(f"unknown feature selection method {method!r}")
+    columns = [
+        c
+        for c in dataset.columns
+        if c.role != ColumnRole.FEATURE or c.name in keep
+    ]
+    return Dataset(columns, name=dataset.name)

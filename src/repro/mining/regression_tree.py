@@ -1,0 +1,205 @@
+"""Regression tree (CART-style, variance reduction).
+
+Regression trees are the second dimensionality-reduction / modelling technique
+the paper names alongside PCA.  The learner predicts a numeric target and can
+also be used for tree-based feature relevance (which attributes were split on).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.tabular.dataset import Column, ColumnRole, Dataset, is_missing_value
+
+
+@dataclass
+class _RegressionNode:
+    is_leaf: bool
+    value: float = 0.0
+    n_samples: int = 0
+    feature: str | None = None
+    feature_kind: str | None = None
+    threshold: float | None = None
+    children: dict[Any, "_RegressionNode"] = field(default_factory=dict)
+    majority_branch: Any = None
+
+
+class RegressionTreeLearner:
+    """Binary/multiway regression tree minimising within-node variance.
+
+    Parameters mirror :class:`~repro.mining.tree.DecisionTreeClassifier`.
+    """
+
+    name = "regression_tree"
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 8, min_variance_reduction: float = 1e-6, max_thresholds: int = 24) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_variance_reduction = min_variance_reduction
+        self.max_thresholds = max_thresholds
+        self.root_: _RegressionNode | None = None
+        self.feature_names_: list[str] = []
+        self.target_name_: str | None = None
+        self._feature_kinds: dict[str, str] = {}
+        self._fitted = False
+
+    def fit(self, dataset: Dataset, target: str | None = None) -> "RegressionTreeLearner":
+        """Fit on ``dataset``; the target is the named numeric column (or the role-target)."""
+        if target is None:
+            target_column = dataset.target_column()
+        else:
+            target_column = dataset[target]
+        if not target_column.is_numeric():
+            raise MiningError("regression target must be numeric")
+        features = [
+            c for c in dataset.columns
+            if c.name != target_column.name and c.role == ColumnRole.FEATURE
+        ]
+        if not features:
+            raise MiningError("dataset has no feature columns")
+        self.feature_names_ = [c.name for c in features]
+        self.target_name_ = target_column.name
+        self._feature_kinds = {c.name: ("numeric" if c.is_numeric() else "categorical") for c in features}
+
+        rows = []
+        values = []
+        for i, row in enumerate(dataset.iter_rows()):
+            y = target_column[i]
+            if is_missing_value(y):
+                continue
+            rows.append({name: row[name] for name in self.feature_names_})
+            values.append(float(y))
+        if not rows:
+            raise MiningError("no rows with a non-missing target")
+        self.root_ = self._build(rows, values, depth=0)
+        self._fitted = True
+        return self
+
+    def _build(self, rows: list[dict[str, Any]], values: list[float], depth: int) -> _RegressionNode:
+        mean = float(np.mean(values))
+        node_variance = float(np.var(values))
+        if depth >= self.max_depth or len(rows) < self.min_samples_split or node_variance == 0.0:
+            return _RegressionNode(is_leaf=True, value=mean, n_samples=len(rows))
+        best = self._best_split(rows, values, node_variance)
+        if best is None:
+            return _RegressionNode(is_leaf=True, value=mean, n_samples=len(rows))
+        feature, kind, threshold, partitions = best
+        node = _RegressionNode(
+            is_leaf=False, value=mean, n_samples=len(rows), feature=feature, feature_kind=kind, threshold=threshold
+        )
+        largest_branch, largest_size = None, -1
+        for branch, indices in partitions.items():
+            node.children[branch] = self._build([rows[i] for i in indices], [values[i] for i in indices], depth + 1)
+            if len(indices) > largest_size:
+                largest_size = len(indices)
+                largest_branch = branch
+        node.majority_branch = largest_branch
+        return node
+
+    def _best_split(self, rows, values, parent_variance):
+        n = len(rows)
+        best_reduction = self.min_variance_reduction
+        best = None
+        for feature, kind in self._feature_kinds.items():
+            if kind == "numeric":
+                pairs, missing = [], []
+                for i, row in enumerate(rows):
+                    v = row.get(feature)
+                    if is_missing_value(v):
+                        missing.append(i)
+                    else:
+                        try:
+                            pairs.append((float(v), i))
+                        except (TypeError, ValueError):
+                            missing.append(i)
+                if len(pairs) < 2:
+                    continue
+                unique = sorted({v for v, _ in pairs})
+                if len(unique) < 2:
+                    continue
+                if len(unique) - 1 > self.max_thresholds:
+                    positions = np.linspace(0, len(unique) - 2, self.max_thresholds).astype(int)
+                    thresholds = [(unique[p] + unique[p + 1]) / 2 for p in positions]
+                else:
+                    thresholds = [(a + b) / 2 for a, b in zip(unique, unique[1:])]
+                for threshold in thresholds:
+                    left = [i for v, i in pairs if v <= threshold]
+                    right = [i for v, i in pairs if v > threshold]
+                    if not left or not right:
+                        continue
+                    (left if len(left) >= len(right) else right).extend(missing)
+                    reduction = self._variance_reduction(values, [left, right], parent_variance, n)
+                    if reduction > best_reduction:
+                        best_reduction = reduction
+                        best = (feature, kind, threshold, {"le": left, "gt": right})
+            else:
+                partitions: dict[Any, list[int]] = {}
+                for i, row in enumerate(rows):
+                    v = row.get(feature)
+                    key = "<missing>" if is_missing_value(v) else str(v)
+                    partitions.setdefault(key, []).append(i)
+                if len(partitions) < 2:
+                    continue
+                reduction = self._variance_reduction(values, list(partitions.values()), parent_variance, n)
+                if reduction > best_reduction:
+                    best_reduction = reduction
+                    best = (feature, kind, None, partitions)
+        return best
+
+    @staticmethod
+    def _variance_reduction(values, partitions, parent_variance, n):
+        weighted = 0.0
+        for indices in partitions:
+            if not indices:
+                continue
+            subset = [values[i] for i in indices]
+            weighted += (len(indices) / n) * float(np.var(subset))
+        return parent_variance - weighted
+
+    def predict(self, dataset: Dataset) -> list[float]:
+        """Predict the numeric target for every row."""
+        if not self._fitted or self.root_ is None:
+            raise MiningError("RegressionTreeLearner must be fitted before predict")
+        predictions = []
+        for row in dataset.iter_rows():
+            node = self.root_
+            while not node.is_leaf:
+                value = row.get(node.feature)
+                if is_missing_value(value):
+                    branch = node.majority_branch
+                elif node.feature_kind == "numeric":
+                    try:
+                        branch = "le" if float(value) <= node.threshold else "gt"
+                    except (TypeError, ValueError):
+                        branch = node.majority_branch
+                else:
+                    branch = str(value)
+                    if branch not in node.children:
+                        branch = node.majority_branch
+                child = node.children.get(branch)
+                if child is None:
+                    break
+                node = child
+            predictions.append(node.value)
+        return predictions
+
+    def used_features(self) -> list[str]:
+        """Features that appear in at least one split (a structure-aware relevance set)."""
+        if self.root_ is None:
+            raise MiningError("RegressionTreeLearner has not been fitted")
+        used: set[str] = set()
+
+        def walk(node: _RegressionNode) -> None:
+            if node.is_leaf:
+                return
+            used.add(node.feature)
+            for child in node.children.values():
+                walk(child)
+
+        walk(self.root_)
+        return sorted(used)

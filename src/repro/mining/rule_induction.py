@@ -1,0 +1,263 @@
+"""Rule-induction classifiers: OneR and PRISM.
+
+Both algorithms produce explicit IF/THEN rules, which is the most readable
+model family for the non-expert users OpenBI targets.  Numeric features are
+discretised into equal-width bins internally; missing values form their own
+``"<missing>"`` category so incompleteness directly shows up in the rules.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.base import Classifier
+from repro.tabular.dataset import Column, Dataset, is_missing_value
+
+_MISSING = "<missing>"
+
+
+def _bin_edges(values: list[float], bins: int) -> list[float]:
+    low, high = min(values), max(values)
+    if high <= low:
+        return [low]
+    return list(np.linspace(low, high, bins + 1))[1:-1]
+
+
+def _discretise_value(value: Any, edges: list[float]) -> str:
+    if is_missing_value(value):
+        return _MISSING
+    try:
+        x = float(value)
+    except (TypeError, ValueError):
+        return _MISSING
+    index = 0
+    for edge in edges:
+        if x > edge:
+            index += 1
+        else:
+            break
+    return f"bin{index}"
+
+
+class _DiscretisingClassifier(Classifier):
+    """Shared machinery: fit-time discretisation of numeric features."""
+
+    def __init__(self, bins: int = 4) -> None:
+        super().__init__()
+        if bins < 2:
+            raise MiningError("bins must be at least 2")
+        self.bins = bins
+        self._edges: dict[str, list[float]] = {}
+        self._numeric: set[str] = set()
+
+    def _prepare_rows(self, dataset: Dataset, features: list[Column], target: Column, fit: bool):
+        if fit:
+            self._numeric = {c.name for c in features if c.is_numeric()}
+            self._edges = {}
+            for column in features:
+                if not column.is_numeric():
+                    continue
+                present = [float(v) for v in column.non_missing()]
+                self._edges[column.name] = _bin_edges(present, self.bins) if present else []
+        rows = []
+        labels = []
+        target_values = target.tolist() if target is not None else [None] * dataset.n_rows
+        feature_names = [c.name for c in features]
+        for i, raw in enumerate(dataset.iter_rows()):
+            row = {}
+            for name in feature_names:
+                value = raw.get(name)
+                if name in self._numeric:
+                    row[name] = _discretise_value(value, self._edges.get(name, []))
+                else:
+                    row[name] = _MISSING if is_missing_value(value) else str(value)
+            rows.append(row)
+            label = target_values[i]
+            labels.append(None if label is None or is_missing_value(label) else str(label))
+        return rows, labels
+
+    def _discretise_row(self, row: dict[str, Any]) -> dict[str, str]:
+        out = {}
+        for name in self.feature_names_:
+            value = row.get(name)
+            if name in self._numeric:
+                out[name] = _discretise_value(value, self._edges.get(name, []))
+            else:
+                out[name] = _MISSING if is_missing_value(value) else str(value)
+        return out
+
+
+class OneRClassifier(_DiscretisingClassifier):
+    """Holte's 1R: a single-attribute rule set chosen to minimise training error."""
+
+    name = "one_r"
+
+    def __init__(self, bins: int = 4) -> None:
+        super().__init__(bins=bins)
+        self.best_feature_: str | None = None
+        self.rules_: dict[str, str] = {}
+        self.default_class_: str | None = None
+
+    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
+        rows, labels = self._prepare_rows(dataset, features, target, fit=True)
+        pairs = [(row, label) for row, label in zip(rows, labels) if label is not None]
+        if not pairs:
+            raise MiningError("no labelled rows to train on")
+        overall = Counter(label for _, label in pairs)
+        self.default_class_ = max(sorted(overall), key=overall.get)
+
+        best_error = math.inf
+        for name in (c.name for c in features):
+            table: dict[str, Counter] = defaultdict(Counter)
+            for row, label in pairs:
+                table[row[name]][label] += 1
+            rules = {value: max(sorted(counts), key=counts.get) for value, counts in table.items()}
+            errors = sum(
+                sum(counts.values()) - counts[rules[value]] for value, counts in table.items()
+            )
+            if errors < best_error:
+                best_error = errors
+                self.best_feature_ = name
+                self.rules_ = rules
+
+    def _predict_row(self, row: dict[str, Any]) -> str:
+        if self.best_feature_ is None:
+            raise MiningError("model has not been fitted")
+        value = self._discretise_row(row).get(self.best_feature_, _MISSING)
+        return self.rules_.get(value, self.default_class_)
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["selected_feature"] = self.best_feature_
+        description["rules"] = dict(self.rules_)
+        return description
+
+
+@dataclass
+class _PrismRule:
+    """A conjunctive rule covering one class."""
+
+    target_class: str
+    conditions: dict[str, str] = field(default_factory=dict)
+
+    def matches(self, row: dict[str, str]) -> bool:
+        return all(row.get(name) == value for name, value in self.conditions.items())
+
+    def as_text(self) -> str:
+        if not self.conditions:
+            return f"IF TRUE THEN class = {self.target_class}"
+        clause = " AND ".join(f"{name} = {value}" for name, value in self.conditions.items())
+        return f"IF {clause} THEN class = {self.target_class}"
+
+
+class PrismClassifier(_DiscretisingClassifier):
+    """Cendrowska's PRISM: per-class, maximally precise conjunctive rules.
+
+    Parameters
+    ----------
+    bins:
+        Equal-width bins used to discretise numeric features.
+    max_conditions:
+        Cap on conditions per rule (keeps induction fast on wide data).
+    max_rules_per_class:
+        Cap on rules per class.
+    """
+
+    name = "prism"
+
+    def __init__(self, bins: int = 4, max_conditions: int = 4, max_rules_per_class: int = 30) -> None:
+        super().__init__(bins=bins)
+        self.max_conditions = max_conditions
+        self.max_rules_per_class = max_rules_per_class
+        self.rules_: list[_PrismRule] = []
+        self.default_class_: str | None = None
+
+    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
+        rows, labels = self._prepare_rows(dataset, features, target, fit=True)
+        pairs = [(row, label) for row, label in zip(rows, labels) if label is not None]
+        if not pairs:
+            raise MiningError("no labelled rows to train on")
+        overall = Counter(label for _, label in pairs)
+        self.default_class_ = max(sorted(overall), key=overall.get)
+        feature_names = [c.name for c in features]
+        self.rules_ = []
+        for target_class in sorted(overall):
+            remaining = [(row, label) for row, label in pairs]
+            rules_made = 0
+            while (
+                any(label == target_class for _, label in remaining)
+                and rules_made < self.max_rules_per_class
+            ):
+                rule = self._induce_rule(remaining, target_class, feature_names)
+                if rule is None:
+                    break
+                self.rules_.append(rule)
+                rules_made += 1
+                remaining = [
+                    (row, label) for row, label in remaining if not (rule.matches(row) and label == target_class)
+                ]
+
+    def _induce_rule(self, pairs, target_class: str, feature_names: list[str]) -> _PrismRule | None:
+        rule = _PrismRule(target_class=target_class)
+        covered = list(pairs)
+        available = list(feature_names)
+        while len(rule.conditions) < self.max_conditions:
+            positives = sum(1 for _, label in covered if label == target_class)
+            if positives == 0:
+                return None
+            if positives == len(covered):
+                break  # rule is already perfectly precise
+            best_precision = -1.0
+            best_coverage = 0
+            best_condition: tuple[str, str] | None = None
+            for name in available:
+                values = {row[name] for row, _ in covered}
+                for value in values:
+                    subset = [(row, label) for row, label in covered if row[name] == value]
+                    pos = sum(1 for _, label in subset if label == target_class)
+                    if pos == 0:
+                        continue
+                    precision = pos / len(subset)
+                    if precision > best_precision or (
+                        precision == best_precision and pos > best_coverage
+                    ):
+                        best_precision = precision
+                        best_coverage = pos
+                        best_condition = (name, value)
+            if best_condition is None:
+                break
+            name, value = best_condition
+            rule.conditions[name] = value
+            available.remove(name)
+            covered = [(row, label) for row, label in covered if row[name] == value]
+            if not available:
+                break
+        positives = sum(1 for _, label in covered if label == target_class)
+        if positives == 0:
+            return None
+        return rule
+
+    def _predict_row(self, row: dict[str, Any]) -> str:
+        if self.default_class_ is None:
+            raise MiningError("model has not been fitted")
+        discretised = self._discretise_row(row)
+        for rule in self.rules_:
+            if rule.matches(discretised):
+                return rule.target_class
+        return self.default_class_
+
+    def rule_texts(self) -> list[str]:
+        """The induced rules as human-readable strings."""
+        return [rule.as_text() for rule in self.rules_]
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["n_rules"] = len(self.rules_)
+        description["rules"] = self.rule_texts()
+        return description

@@ -1,0 +1,369 @@
+"""C4.5-style decision tree classifier.
+
+Handles numeric and categorical features natively (multiway splits on
+categorical attributes, binary threshold splits on numeric attributes), uses
+gain ratio as the default split criterion and routes missing values down the
+majority branch.  The fitted tree can be exported as human-readable rules,
+which is what the OpenBI reporting layer shows to non-expert users.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import MiningError
+from repro.mining.base import Classifier
+from repro.tabular.dataset import Column, Dataset, is_missing_value
+
+
+def _entropy(counts: Counter) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts.values():
+        if count == 0:
+            continue
+        p = count / total
+        result -= p * math.log2(p)
+    return result
+
+
+@dataclass
+class _Node:
+    """A node of the fitted tree."""
+
+    is_leaf: bool
+    prediction: str | None = None
+    distribution: dict[str, int] = field(default_factory=dict)
+    feature: str | None = None
+    feature_kind: str | None = None  # "numeric" | "categorical"
+    threshold: float | None = None
+    children: dict[Any, "_Node"] = field(default_factory=dict)
+    majority_branch: Any = None
+    depth: int = 0
+
+    def predict(self, row: dict[str, Any]) -> str:
+        node = self
+        while not node.is_leaf:
+            value = row.get(node.feature)
+            if is_missing_value(value):
+                branch = node.majority_branch
+            elif node.feature_kind == "numeric":
+                try:
+                    branch = "le" if float(value) <= node.threshold else "gt"
+                except (TypeError, ValueError):
+                    branch = node.majority_branch
+            else:
+                branch = str(value)
+                if branch not in node.children:
+                    branch = node.majority_branch
+            child = node.children.get(branch)
+            if child is None:
+                break
+            node = child
+        return node.prediction if node.prediction is not None else ""
+
+    def rules(self, prefix: list[str] | None = None) -> list[tuple[list[str], str, dict[str, int]]]:
+        """Flatten the tree into (conditions, predicted class, distribution) rules."""
+        prefix = prefix or []
+        if self.is_leaf:
+            return [(list(prefix), self.prediction or "", dict(self.distribution))]
+        rules = []
+        for branch, child in self.children.items():
+            if self.feature_kind == "numeric":
+                condition = (
+                    f"{self.feature} <= {self.threshold:.4g}"
+                    if branch == "le"
+                    else f"{self.feature} > {self.threshold:.4g}"
+                )
+            else:
+                condition = f"{self.feature} = {branch}"
+            rules.extend(child.rules(prefix + [condition]))
+        return rules
+
+
+class DecisionTreeClassifier(Classifier):
+    """Top-down induction of a decision tree (C4.5-like).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; leaves are forced beyond it.
+    min_samples_split:
+        Minimum number of rows required to attempt a split.
+    min_gain:
+        Minimum information gain (not gain ratio) required to accept a split.
+    criterion:
+        ``"gain_ratio"`` (default) or ``"information_gain"``.
+    max_thresholds:
+        Maximum number of candidate thresholds evaluated per numeric feature
+        (quantile-spaced), keeping induction fast on large data.
+    """
+
+    name = "decision_tree"
+
+    def __init__(
+        self,
+        max_depth: int = 10,
+        min_samples_split: int = 5,
+        min_gain: float = 1e-3,
+        criterion: str = "gain_ratio",
+        max_thresholds: int = 24,
+    ) -> None:
+        super().__init__()
+        if criterion not in ("gain_ratio", "information_gain"):
+            raise MiningError(f"unknown split criterion {criterion!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_gain = min_gain
+        self.criterion = criterion
+        self.max_thresholds = max_thresholds
+        self.root_: _Node | None = None
+        self._feature_kinds: dict[str, str] = {}
+
+    # -- fitting ---------------------------------------------------------------
+
+    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
+        self._feature_kinds = {
+            c.name: ("numeric" if c.is_numeric() else "categorical") for c in features
+        }
+        rows = []
+        labels = []
+        feature_names = [c.name for c in features]
+        target_values = target.tolist()
+        for i, row in enumerate(dataset.iter_rows()):
+            label = target_values[i]
+            if is_missing_value(label):
+                continue
+            rows.append({name: row[name] for name in feature_names})
+            labels.append(str(label))
+        if not rows:
+            raise MiningError("no labelled rows to train on")
+        self.root_ = self._build(rows, labels, depth=0)
+
+    def _majority(self, labels: list[str]) -> tuple[str, dict[str, int]]:
+        counts = Counter(labels)
+        prediction = max(sorted(counts), key=counts.get)
+        return prediction, dict(counts)
+
+    def _build(self, rows: list[dict[str, Any]], labels: list[str], depth: int) -> _Node:
+        prediction, distribution = self._majority(labels)
+        if (
+            depth >= self.max_depth
+            or len(rows) < self.min_samples_split
+            or len(set(labels)) == 1
+        ):
+            return _Node(is_leaf=True, prediction=prediction, distribution=distribution, depth=depth)
+
+        best = self._best_split(rows, labels)
+        if best is None:
+            return _Node(is_leaf=True, prediction=prediction, distribution=distribution, depth=depth)
+        feature, kind, threshold, partitions = best
+
+        node = _Node(
+            is_leaf=False,
+            prediction=prediction,
+            distribution=distribution,
+            feature=feature,
+            feature_kind=kind,
+            threshold=threshold,
+            depth=depth,
+        )
+        largest_branch = None
+        largest_size = -1
+        for branch, indices in partitions.items():
+            child_rows = [rows[i] for i in indices]
+            child_labels = [labels[i] for i in indices]
+            node.children[branch] = self._build(child_rows, child_labels, depth + 1)
+            if len(indices) > largest_size:
+                largest_size = len(indices)
+                largest_branch = branch
+        node.majority_branch = largest_branch
+        return node
+
+    def _best_split(self, rows: list[dict[str, Any]], labels: list[str]):
+        base_entropy = _entropy(Counter(labels))
+        best_score = -math.inf
+        best = None
+        n = len(rows)
+        for feature, kind in self._feature_kinds.items():
+            if kind == "numeric":
+                candidate = self._numeric_split(rows, labels, feature, base_entropy, n)
+            else:
+                candidate = self._categorical_split(rows, labels, feature, base_entropy, n)
+            if candidate is None:
+                continue
+            score, gain, threshold, partitions = candidate
+            if gain < self.min_gain:
+                continue
+            if score > best_score:
+                best_score = score
+                best = (feature, kind, threshold, partitions)
+        return best
+
+    def _score(self, gain: float, split_entropy: float) -> float:
+        if self.criterion == "information_gain":
+            return gain
+        if split_entropy <= 0:
+            return 0.0
+        return gain / split_entropy
+
+    def _categorical_split(self, rows, labels, feature, base_entropy, n):
+        partitions: dict[Any, list[int]] = {}
+        for i, row in enumerate(rows):
+            value = row.get(feature)
+            key = "<missing>" if is_missing_value(value) else str(value)
+            partitions.setdefault(key, []).append(i)
+        if len(partitions) < 2:
+            return None
+        weighted = 0.0
+        split_entropy = 0.0
+        for indices in partitions.values():
+            weight = len(indices) / n
+            weighted += weight * _entropy(Counter(labels[i] for i in indices))
+            split_entropy -= weight * math.log2(weight)
+        gain = base_entropy - weighted
+        return self._score(gain, split_entropy), gain, None, partitions
+
+    def _numeric_split(self, rows, labels, feature, base_entropy, n):
+        pairs = []
+        missing_indices = []
+        for i, row in enumerate(rows):
+            value = row.get(feature)
+            if is_missing_value(value):
+                missing_indices.append(i)
+                continue
+            try:
+                pairs.append((float(value), i))
+            except (TypeError, ValueError):
+                missing_indices.append(i)
+        if len(pairs) < 2:
+            return None
+        values = sorted({v for v, _ in pairs})
+        if len(values) < 2:
+            return None
+        if len(values) - 1 > self.max_thresholds:
+            positions = np.linspace(0, len(values) - 2, self.max_thresholds).astype(int)
+            candidate_edges = [(values[p] + values[p + 1]) / 2.0 for p in positions]
+        else:
+            candidate_edges = [(a + b) / 2.0 for a, b in zip(values, values[1:])]
+        best_gain = -math.inf
+        best_threshold = None
+        best_partitions = None
+        for threshold in candidate_edges:
+            left = [i for v, i in pairs if v <= threshold]
+            right = [i for v, i in pairs if v > threshold]
+            if not left or not right:
+                continue
+            # Missing rows follow the larger side (majority branch behaviour).
+            if missing_indices:
+                (left if len(left) >= len(right) else right).extend(missing_indices)
+            weighted = 0.0
+            split_entropy = 0.0
+            for indices in (left, right):
+                weight = len(indices) / n
+                if weight == 0:
+                    continue
+                weighted += weight * _entropy(Counter(labels[i] for i in indices))
+                split_entropy -= weight * math.log2(weight)
+            gain = base_entropy - weighted
+            if gain > best_gain:
+                best_gain = gain
+                best_threshold = threshold
+                best_partitions = {"le": left, "gt": right}
+        if best_partitions is None:
+            return None
+        split_entropy = 0.0
+        for indices in best_partitions.values():
+            weight = len(indices) / n
+            if weight > 0:
+                split_entropy -= weight * math.log2(weight)
+        return self._score(best_gain, split_entropy), best_gain, best_threshold, best_partitions
+
+    # -- prediction -------------------------------------------------------------
+
+    def _predict_row(self, row: dict[str, Any]) -> str:
+        if self.root_ is None:
+            raise MiningError("tree has not been fitted")
+        return self.root_.predict(row)
+
+    # -- introspection -------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        if self.root_ is None:
+            raise MiningError("tree has not been fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return node.depth
+            return max(walk(child) for child in node.children.values())
+
+        return walk(self.root_)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        if self.root_ is None:
+            raise MiningError("tree has not been fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return sum(walk(child) for child in node.children.values())
+
+        return walk(self.root_)
+
+    def extract_rules(self) -> list[dict[str, Any]]:
+        """Export the tree as a list of IF/THEN rules for reporting."""
+        if self.root_ is None:
+            raise MiningError("tree has not been fitted")
+        rules = []
+        for conditions, prediction, distribution in self.root_.rules():
+            total = sum(distribution.values())
+            correct = distribution.get(prediction, 0)
+            rules.append(
+                {
+                    "conditions": conditions,
+                    "prediction": prediction,
+                    "coverage": total,
+                    "confidence": correct / total if total else 0.0,
+                }
+            )
+        return rules
+
+    def predict_proba(self, dataset: Dataset) -> list[dict[str, float]]:
+        """Class distribution of the leaf each row falls into."""
+        from repro.mining.base import check_fitted
+
+        check_fitted(self)
+        results = []
+        for row in dataset.iter_rows():
+            node = self.root_
+            features_only = {name: row.get(name) for name in self.feature_names_}
+            while node is not None and not node.is_leaf:
+                value = features_only.get(node.feature)
+                if is_missing_value(value):
+                    branch = node.majority_branch
+                elif node.feature_kind == "numeric":
+                    try:
+                        branch = "le" if float(value) <= node.threshold else "gt"
+                    except (TypeError, ValueError):
+                        branch = node.majority_branch
+                else:
+                    branch = str(value)
+                    if branch not in node.children:
+                        branch = node.majority_branch
+                next_node = node.children.get(branch)
+                if next_node is None:
+                    break
+                node = next_node
+            distribution = node.distribution if node is not None else {}
+            total = sum(distribution.values()) or 1
+            results.append({cls: distribution.get(cls, 0) / total for cls in self.classes_})
+        return results

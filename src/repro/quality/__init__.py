@@ -1,0 +1,41 @@
+"""Data quality criteria measurement.
+
+"Data quality means 'fitness for use' … data quality criteria should be
+measured to avoid discovering superfluous, contradictory or spurious
+knowledge" (paper, §3.1).  Each criterion in this subpackage measures one
+aspect of a dataset and returns a score in ``[0, 1]`` where **1.0 means
+perfect quality** (no problem present); the scores are aggregated into a
+:class:`~repro.quality.profile.DataQualityProfile` that the metamodel
+annotations, the knowledge base and the advisor all consume.
+"""
+
+from repro.quality.criteria import Criterion, CriterionMeasure, CRITERIA_REGISTRY, get_criterion, register_criterion
+from repro.quality.completeness import CompletenessCriterion
+from repro.quality.accuracy import AccuracyCriterion
+from repro.quality.consistency import ConsistencyCriterion
+from repro.quality.duplicates import DuplicationCriterion
+from repro.quality.correlation import CorrelationCriterion
+from repro.quality.balance import BalanceCriterion
+from repro.quality.dimensionality import DimensionalityCriterion
+from repro.quality.outliers import OutlierCriterion
+from repro.quality.profile import DataQualityProfile, measure_quality
+from repro.quality.report import quality_report
+
+__all__ = [
+    "Criterion",
+    "CriterionMeasure",
+    "CRITERIA_REGISTRY",
+    "get_criterion",
+    "register_criterion",
+    "CompletenessCriterion",
+    "AccuracyCriterion",
+    "ConsistencyCriterion",
+    "DuplicationCriterion",
+    "CorrelationCriterion",
+    "BalanceCriterion",
+    "DimensionalityCriterion",
+    "OutlierCriterion",
+    "DataQualityProfile",
+    "measure_quality",
+    "quality_report",
+]

@@ -1,0 +1,59 @@
+"""Class balance of the mining target."""
+
+from __future__ import annotations
+
+import math
+
+from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
+from repro.tabular.dataset import Dataset
+
+
+@register_criterion
+class BalanceCriterion(Criterion):
+    """Normalised entropy of the target class distribution.
+
+    A perfectly balanced target scores 1.0; a single-class target scores 0.0.
+    When the dataset has no target column the criterion falls back to the
+    least balanced categorical column (so it stays usable for unsupervised
+    sources).
+    """
+
+    name = "balance"
+    description = "How evenly the target classes are represented."
+
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        if dataset.has_target():
+            column = dataset.target_column()
+        else:
+            candidates = [c for c in dataset.feature_columns() if not c.is_numeric()]
+            if not candidates:
+                return CriterionMeasure(self.name, 1.0, {"note": "no discrete column to assess"})
+            column = min(candidates, key=lambda c: self._normalised_entropy(c.value_counts()))
+        counts = column.value_counts()
+        score = self._normalised_entropy(counts)
+        total = sum(counts.values())
+        majority = max(counts.values()) if counts else 0
+        minority = min(counts.values()) if counts else 0
+        return CriterionMeasure(
+            criterion=self.name,
+            score=score,
+            details={
+                "column": column.name,
+                "class_counts": {str(k): v for k, v in counts.items()},
+                "majority_share": majority / total if total else 0.0,
+                "imbalance_ratio": (majority / minority) if minority else float(total or 1),
+            },
+        )
+
+    @staticmethod
+    def _normalised_entropy(counts: dict) -> float:
+        total = sum(counts.values())
+        if total == 0 or len(counts) < 2:
+            return 0.0
+        entropy = 0.0
+        for count in counts.values():
+            if count == 0:
+                continue
+            p = count / total
+            entropy -= p * math.log2(p)
+        return entropy / math.log2(len(counts))

@@ -1,0 +1,49 @@
+"""Completeness: how much of the data is actually present."""
+
+from __future__ import annotations
+
+from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
+from repro.tabular.dataset import ColumnRole, Dataset
+
+
+@register_criterion
+class CompletenessCriterion(Criterion):
+    """Fraction of non-missing cells over the feature and target columns.
+
+    The score is 1.0 when no cell is missing.  Identifier and metadata columns
+    are ignored because their absence does not affect mining.
+    """
+
+    name = "completeness"
+    description = "Fraction of cells that are present (not missing)."
+
+    def __init__(self, include_target: bool = True) -> None:
+        self.include_target = include_target
+
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        roles = {ColumnRole.FEATURE}
+        if self.include_target:
+            roles.add(ColumnRole.TARGET)
+        columns = [c for c in dataset.columns if c.role in roles]
+        if not columns:
+            columns = dataset.columns
+        per_column = {}
+        total_cells = 0
+        total_missing = 0
+        for column in columns:
+            missing = column.n_missing()
+            per_column[column.name] = 1.0 - missing / dataset.n_rows
+            total_cells += dataset.n_rows
+            total_missing += missing
+        score = 1.0 - (total_missing / total_cells if total_cells else 0.0)
+        worst = min(per_column.values()) if per_column else 1.0
+        return CriterionMeasure(
+            criterion=self.name,
+            score=score,
+            details={
+                "per_column": per_column,
+                "worst_column_completeness": worst,
+                "n_missing_cells": total_missing,
+                "n_cells": total_cells,
+            },
+        )

@@ -1,0 +1,43 @@
+"""Consistency: agreement of the data with declared structural rules."""
+
+from __future__ import annotations
+
+from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
+from repro.tabular.dataset import Dataset
+from repro.tabular.schema import Schema, infer_schema
+
+
+@register_criterion
+class ConsistencyCriterion(Criterion):
+    """Fraction of cells that do not violate the (given or inferred) schema.
+
+    With an explicit clean-reference schema this measures true rule
+    violations (domains, ranges, nullability, uniqueness, row rules).  When no
+    schema is given, a permissive schema is inferred from the dataset itself,
+    so only internally contradictory aspects (e.g. duplicated values in a
+    unique column) are counted.
+    """
+
+    name = "consistency"
+    description = "Fraction of cells consistent with the declared/inferred schema."
+
+    def __init__(self, schema: Schema | None = None) -> None:
+        self.schema = schema
+
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        schema = self.schema or infer_schema(dataset)
+        violations = schema.validate(dataset)
+        n_cells = dataset.n_rows * dataset.n_columns
+        per_kind: dict[str, int] = {}
+        for violation in violations:
+            per_kind[violation.kind] = per_kind.get(violation.kind, 0) + 1
+        score = 1.0 - min(len(violations) / n_cells, 1.0) if n_cells else 1.0
+        return CriterionMeasure(
+            criterion=self.name,
+            score=score,
+            details={
+                "n_violations": len(violations),
+                "violations_by_kind": per_kind,
+                "schema": schema.name,
+            },
+        )

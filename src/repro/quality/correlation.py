@@ -1,0 +1,87 @@
+"""Correlation / redundancy among the attributes.
+
+The paper's running example: "if some attributes are selected as input for a
+classification algorithm (being some of them strongly correlated), the
+resulting knowledge pattern, though correct, will not provide the useful
+expected value" (§3.1).  The criterion therefore scores how *non-redundant*
+the feature set is.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
+from repro.tabular.dataset import ColumnType, Dataset
+from repro.tabular.stats import cramers_v, pearson
+
+
+@register_criterion
+class CorrelationCriterion(Criterion):
+    """1.0 minus the share of feature pairs that are strongly associated.
+
+    Numeric pairs use |Pearson| and categorical pairs use Cramér's V; a pair
+    counts as redundant when its association exceeds ``threshold``.  The score
+    also reports the mean absolute association in the details so degradation
+    is visible before any pair crosses the threshold.
+    """
+
+    name = "correlation"
+    description = "Degree to which features are not redundant with each other."
+
+    def __init__(self, threshold: float = 0.9, max_pairs: int = 2000) -> None:
+        self.threshold = threshold
+        self.max_pairs = max_pairs
+
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        features = dataset.feature_columns()
+        numeric = [c for c in features if c.is_numeric()]
+        categorical = [c for c in features if c.ctype in (ColumnType.CATEGORICAL, ColumnType.BOOLEAN)]
+
+        associations: list[float] = []
+        redundant_pairs: list[tuple[str, str, float]] = []
+
+        def consider(name_a: str, name_b: str, value: float) -> None:
+            if math.isnan(value):
+                return
+            associations.append(abs(value))
+            if abs(value) >= self.threshold:
+                redundant_pairs.append((name_a, name_b, float(value)))
+
+        pairs_examined = 0
+        for i in range(len(numeric)):
+            for j in range(i + 1, len(numeric)):
+                if pairs_examined >= self.max_pairs:
+                    break
+                consider(numeric[i].name, numeric[j].name, pearson(numeric[i].values, numeric[j].values))
+                pairs_examined += 1
+        for i in range(len(categorical)):
+            for j in range(i + 1, len(categorical)):
+                if pairs_examined >= self.max_pairs:
+                    break
+                consider(categorical[i].name, categorical[j].name, cramers_v(categorical[i], categorical[j]))
+                pairs_examined += 1
+
+        if not associations:
+            return CriterionMeasure(self.name, 1.0, {"n_pairs": 0, "redundant_pairs": []})
+
+        n_pairs = len(associations)
+        redundant_share = len(redundant_pairs) / n_pairs
+        mean_association = float(np.mean(associations))
+        # Blend: crossing the threshold dominates, pervasive moderate
+        # correlation still lowers the score.
+        score = 1.0 - (0.7 * redundant_share + 0.3 * mean_association)
+        return CriterionMeasure(
+            criterion=self.name,
+            score=max(min(score, 1.0), 0.0),
+            details={
+                "n_pairs": n_pairs,
+                "mean_association": mean_association,
+                "max_association": float(np.max(associations)),
+                "redundant_pairs": [
+                    {"a": a, "b": b, "association": value} for a, b, value in redundant_pairs
+                ],
+            },
+        )

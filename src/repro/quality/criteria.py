@@ -1,0 +1,75 @@
+"""Criterion base class, measurement record and global registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import DataQualityError
+from repro.tabular.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class CriterionMeasure:
+    """The outcome of measuring one criterion on one dataset.
+
+    ``score`` is in ``[0, 1]`` with 1.0 meaning perfect quality; ``details``
+    holds criterion-specific breakdowns (e.g. per-column completeness).
+    """
+
+    criterion: str
+    score: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise DataQualityError(
+                f"criterion {self.criterion!r} produced a score outside [0, 1]: {self.score}"
+            )
+
+
+class Criterion(ABC):
+    """A measurable data quality criterion.
+
+    Subclasses define :attr:`name`, a short :attr:`description` and implement
+    :meth:`measure`.  Construction arguments configure thresholds; measurement
+    never mutates the dataset.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "criterion"
+    #: One-line human readable description used in reports.
+    description: str = ""
+
+    @abstractmethod
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        """Measure this criterion on ``dataset``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+#: Global registry criterion name → criterion class.
+CRITERIA_REGISTRY: dict[str, type[Criterion]] = {}
+
+
+def register_criterion(cls: type[Criterion]) -> type[Criterion]:
+    """Class decorator adding a criterion to :data:`CRITERIA_REGISTRY`."""
+    if not issubclass(cls, Criterion):
+        raise DataQualityError(f"{cls!r} is not a Criterion subclass")
+    if not cls.name or cls.name == "criterion":
+        raise DataQualityError(f"{cls.__name__} must define a unique name")
+    CRITERIA_REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_criterion(name: str, **kwargs: Any) -> Criterion:
+    """Instantiate a registered criterion by name."""
+    try:
+        cls = CRITERIA_REGISTRY[name]
+    except KeyError:
+        raise DataQualityError(
+            f"unknown data quality criterion {name!r}; known: {sorted(CRITERIA_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,76 @@
+"""Duplication: repeated records in the data.
+
+The related-work section of the paper lists duplicate detection and
+elimination as a classic first-phase data quality problem.  The criterion
+counts exact duplicate rows and, optionally, near-duplicates whose string
+cells differ only by normalisation (case, accents, whitespace).
+"""
+
+from __future__ import annotations
+
+from repro.lod.linker import normalise_string
+from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
+from repro.tabular.dataset import ColumnRole, Dataset, is_missing_value
+
+
+@register_criterion
+class DuplicationCriterion(Criterion):
+    """1.0 minus the fraction of rows that duplicate an earlier row."""
+
+    name = "duplication"
+    description = "Fraction of rows that are unique (not duplicates of earlier rows)."
+
+    def __init__(self, fuzzy: bool = True, ignore_identifier: bool = True) -> None:
+        self.fuzzy = fuzzy
+        self.ignore_identifier = ignore_identifier
+
+    def _row_key(self, row: dict, columns: list[str], fuzzy: bool) -> tuple:
+        key = []
+        for name in columns:
+            value = row[name]
+            if is_missing_value(value):
+                key.append("<missing>")
+            elif fuzzy and isinstance(value, str):
+                key.append(normalise_string(value))
+            elif isinstance(value, float):
+                key.append(round(value, 6))
+            else:
+                key.append(value)
+        return tuple(key)
+
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        columns = [
+            c.name
+            for c in dataset.columns
+            if not (self.ignore_identifier and c.role == ColumnRole.IDENTIFIER)
+        ]
+        if not columns:
+            columns = dataset.column_names
+        exact_seen: set[tuple] = set()
+        fuzzy_seen: set[tuple] = set()
+        exact_duplicates = 0
+        fuzzy_duplicates = 0
+        for row in dataset.iter_rows():
+            exact_key = self._row_key(row, columns, fuzzy=False)
+            if exact_key in exact_seen:
+                exact_duplicates += 1
+            else:
+                exact_seen.add(exact_key)
+            if self.fuzzy:
+                fuzzy_key = self._row_key(row, columns, fuzzy=True)
+                if fuzzy_key in fuzzy_seen:
+                    fuzzy_duplicates += 1
+                else:
+                    fuzzy_seen.add(fuzzy_key)
+        n = dataset.n_rows
+        duplicates = max(exact_duplicates, fuzzy_duplicates if self.fuzzy else 0)
+        score = 1.0 - (duplicates / n if n else 0.0)
+        return CriterionMeasure(
+            criterion=self.name,
+            score=score,
+            details={
+                "n_exact_duplicates": exact_duplicates,
+                "n_fuzzy_duplicates": fuzzy_duplicates,
+                "n_rows": n,
+            },
+        )

@@ -1,0 +1,615 @@
+"""Typed, column-oriented in-memory dataset.
+
+The :class:`Dataset` is the exchange format used across the library: open
+data sources (CSV/XML/HTML/JSON or Linked Open Data) are loaded into a
+``Dataset``; data quality criteria are measured on a ``Dataset``; data quality
+problems are injected into a ``Dataset``; mining algorithms consume a
+``Dataset``.
+
+Missing values are represented as ``None`` for non-numeric columns and
+``float('nan')`` for numeric columns; :func:`is_missing_value` abstracts over
+both.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import math
+import random
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+
+class ColumnType:
+    """Enumeration of logical column types.
+
+    ``NUMERIC``
+        Continuous or integer-valued measurements, stored as ``float64``.
+    ``CATEGORICAL``
+        Discrete labels from a (small) finite domain.
+    ``BOOLEAN``
+        True/False flags; treated as a two-valued categorical.
+    ``STRING``
+        Free text (identifiers, descriptions); not used as mining features by
+        default.
+    ``DATETIME``
+        ISO-8601 date or datetime strings; kept as text but recognised so the
+        consistency criterion can validate their format.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    BOOLEAN = "boolean"
+    STRING = "string"
+    DATETIME = "datetime"
+
+    ALL = (NUMERIC, CATEGORICAL, BOOLEAN, STRING, DATETIME)
+
+
+class ColumnRole:
+    """Enumeration of the role a column plays during mining."""
+
+    FEATURE = "feature"
+    TARGET = "target"
+    IDENTIFIER = "identifier"
+    METADATA = "metadata"
+
+    ALL = (FEATURE, TARGET, IDENTIFIER, METADATA)
+
+
+#: String tokens commonly used in open data files to denote a missing value.
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "?", "-", "missing"})
+
+
+def is_missing_value(value: Any) -> bool:
+    """Return ``True`` when ``value`` represents a missing cell."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, np.floating) and np.isnan(value):
+        return True
+    return False
+
+
+def _looks_numeric(value: Any) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return True
+    if isinstance(value, str):
+        try:
+            float(value)
+        except ValueError:
+            return False
+        return True
+    return False
+
+
+def _looks_boolean(value: Any) -> bool:
+    if isinstance(value, (bool, np.bool_)):
+        return True
+    if isinstance(value, str):
+        return value.strip().lower() in {"true", "false", "yes", "no"}
+    return False
+
+
+def _looks_datetime(value: Any) -> bool:
+    if not isinstance(value, str):
+        return False
+    text = value.strip()
+    if len(text) < 8 or text.count("-") < 2:
+        return False
+    parts = text[:10].split("-")
+    if len(parts) != 3:
+        return False
+    return all(part.isdigit() for part in parts)
+
+
+def infer_column_type(values: Iterable[Any]) -> str:
+    """Infer the :class:`ColumnType` of a sequence of raw values.
+
+    The inference looks only at non-missing values.  Order of preference is
+    boolean → numeric → datetime → categorical/string (a column whose distinct
+    ratio is high is considered free text rather than categorical).
+    """
+    present = [v for v in values if not is_missing_value(v)]
+    if not present:
+        return ColumnType.STRING
+    if all(_looks_boolean(v) for v in present):
+        return ColumnType.BOOLEAN
+    if all(_looks_numeric(v) for v in present):
+        return ColumnType.NUMERIC
+    if all(_looks_datetime(v) for v in present):
+        return ColumnType.DATETIME
+    distinct = {str(v) for v in present}
+    if len(distinct) <= max(20, int(0.2 * len(present))):
+        return ColumnType.CATEGORICAL
+    return ColumnType.STRING
+
+
+def _coerce_value(value: Any, ctype: str) -> Any:
+    """Coerce a raw cell to the canonical Python representation for ``ctype``."""
+    if is_missing_value(value):
+        return float("nan") if ctype == ColumnType.NUMERIC else None
+    if ctype == ColumnType.NUMERIC:
+        return float(value)
+    if ctype == ColumnType.BOOLEAN:
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        return str(value).strip().lower() in {"true", "yes", "1"}
+    return str(value) if not isinstance(value, str) else value
+
+
+class Column:
+    """A single named, typed column of a :class:`Dataset`.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within a dataset.
+    values:
+        Raw cell values.  They are coerced to the canonical representation of
+        the (possibly inferred) column type.
+    ctype:
+        One of :class:`ColumnType`; inferred from the values when omitted.
+    role:
+        One of :class:`ColumnRole`; defaults to ``feature``.
+    """
+
+    __slots__ = ("name", "ctype", "role", "_values")
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable[Any],
+        ctype: str | None = None,
+        role: str = ColumnRole.FEATURE,
+    ) -> None:
+        if not name:
+            raise SchemaError("column name must be a non-empty string")
+        if role not in ColumnRole.ALL:
+            raise SchemaError(f"unknown column role {role!r}")
+        values = list(values)
+        if ctype is None:
+            ctype = infer_column_type(values)
+        if ctype not in ColumnType.ALL:
+            raise SchemaError(f"unknown column type {ctype!r}")
+        self.name = name
+        self.ctype = ctype
+        self.role = role
+        coerced = [_coerce_value(v, ctype) for v in values]
+        if ctype == ColumnType.NUMERIC:
+            self._values = np.asarray(coerced, dtype=float)
+        else:
+            self._values = np.asarray(coerced, dtype=object)
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __iter__(self):
+        return iter(self._values.tolist())
+
+    def __getitem__(self, index: int) -> Any:
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if (self.name, self.ctype, self.role) != (other.name, other.ctype, other.role):
+            return False
+        if len(self) != len(other):
+            return False
+        for a, b in zip(self._values.tolist(), other._values.tolist()):
+            if is_missing_value(a) and is_missing_value(b):
+                continue
+            if a != b:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self.name!r}, type={self.ctype}, role={self.role}, n={len(self)})"
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying numpy array (float64 for numeric, object otherwise)."""
+        return self._values
+
+    def tolist(self) -> list[Any]:
+        """Return the column as a plain Python list."""
+        return self._values.tolist()
+
+    def is_numeric(self) -> bool:
+        return self.ctype == ColumnType.NUMERIC
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask that is ``True`` where the cell is missing."""
+        if self.is_numeric():
+            return np.isnan(self._values)
+        return np.asarray([is_missing_value(v) for v in self._values.tolist()], dtype=bool)
+
+    def n_missing(self) -> int:
+        return int(self.missing_mask().sum())
+
+    def non_missing(self) -> list[Any]:
+        """Return the non-missing values, preserving order."""
+        mask = self.missing_mask()
+        return [v for v, m in zip(self._values.tolist(), mask) if not m]
+
+    def distinct(self) -> list[Any]:
+        """Return the distinct non-missing values in first-seen order."""
+        seen: dict[Any, None] = {}
+        for value in self.non_missing():
+            seen.setdefault(value, None)
+        return list(seen)
+
+    def value_counts(self) -> dict[Any, int]:
+        """Return a mapping value → frequency over non-missing cells."""
+        counts: dict[Any, int] = {}
+        for value in self.non_missing():
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    # -- construction helpers ----------------------------------------------
+
+    def copy(self) -> "Column":
+        clone = Column.__new__(Column)
+        clone.name = self.name
+        clone.ctype = self.ctype
+        clone.role = self.role
+        clone._values = self._values.copy()
+        return clone
+
+    def with_values(self, values: Iterable[Any]) -> "Column":
+        """Return a new column with the same name/type/role and new values."""
+        return Column(self.name, list(values), ctype=self.ctype, role=self.role)
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        """Return a new column containing the rows at ``indices`` (in order)."""
+        clone = Column.__new__(Column)
+        clone.name = self.name
+        clone.ctype = self.ctype
+        clone.role = self.role
+        clone._values = self._values[np.asarray(list(indices), dtype=int)]
+        return clone
+
+
+class Dataset:
+    """An ordered collection of equally long :class:`Column` objects.
+
+    The dataset is row-consistent by construction: every column must have the
+    same length, and column names must be unique.
+    """
+
+    def __init__(self, columns: Iterable[Column], name: str = "dataset") -> None:
+        columns = list(columns)
+        if not columns:
+            raise SchemaError("a dataset needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            duplicated = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {duplicated}")
+        self.name = name
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, Any]],
+        name: str = "dataset",
+        ctypes: Mapping[str, str] | None = None,
+        roles: Mapping[str, str] | None = None,
+        column_order: Sequence[str] | None = None,
+    ) -> "Dataset":
+        """Build a dataset from a sequence of row dictionaries.
+
+        Rows may omit keys; omitted cells become missing values.  Column order
+        defaults to first-seen order across the rows.
+        """
+        if not rows:
+            raise SchemaError("cannot build a dataset from zero rows")
+        if column_order is None:
+            order: list[str] = []
+            for row in rows:
+                for key in row:
+                    if key not in order:
+                        order.append(key)
+        else:
+            order = list(column_order)
+        ctypes = dict(ctypes or {})
+        roles = dict(roles or {})
+        columns = []
+        for key in order:
+            values = [row.get(key) for row in rows]
+            columns.append(
+                Column(
+                    key,
+                    values,
+                    ctype=ctypes.get(key),
+                    role=roles.get(key, ColumnRole.FEATURE),
+                )
+            )
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Sequence[Any]],
+        name: str = "dataset",
+        ctypes: Mapping[str, str] | None = None,
+        roles: Mapping[str, str] | None = None,
+    ) -> "Dataset":
+        """Build a dataset from a mapping column name → list of values."""
+        ctypes = dict(ctypes or {})
+        roles = dict(roles or {})
+        columns = [
+            Column(key, list(values), ctype=ctypes.get(key), role=roles.get(key, ColumnRole.FEATURE))
+            for key, values in data.items()
+        ]
+        return cls(columns, name=name)
+
+    # -- basic protocol ------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns.values())
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r} in dataset {self.name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(self[n] == other[n] for n in self.column_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset({self.name!r}, rows={self.n_rows}, columns={self.n_columns})"
+
+    # -- row access ----------------------------------------------------------
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a mapping column name → value."""
+        if not 0 <= index < self.n_rows:
+            raise SchemaError(f"row index {index} out of range for {self.n_rows} rows")
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Materialise all rows as a list of dictionaries."""
+        return list(self.iter_rows())
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Return a mapping column name → list of values."""
+        return {name: col.tolist() for name, col in self._columns.items()}
+
+    # -- column manipulation ---------------------------------------------------
+
+    def add_column(self, column: Column) -> "Dataset":
+        """Return a new dataset with ``column`` appended."""
+        if column.name in self._columns:
+            raise SchemaError(f"column {column.name!r} already exists")
+        if len(column) != self.n_rows:
+            raise SchemaError(
+                f"column {column.name!r} has {len(column)} rows, dataset has {self.n_rows}"
+            )
+        return Dataset(self.columns + [column], name=self.name)
+
+    def drop_columns(self, names: Iterable[str]) -> "Dataset":
+        """Return a new dataset without the listed columns."""
+        drop = set(names)
+        missing = drop - set(self._columns)
+        if missing:
+            raise SchemaError(f"cannot drop unknown columns: {sorted(missing)}")
+        kept = [c for c in self.columns if c.name not in drop]
+        if not kept:
+            raise SchemaError("dropping these columns would leave an empty dataset")
+        return Dataset(kept, name=self.name)
+
+    def select_columns(self, names: Sequence[str]) -> "Dataset":
+        """Return a new dataset with only the listed columns, in that order."""
+        return Dataset([self[name] for name in names], name=self.name)
+
+    def rename_column(self, old: str, new: str) -> "Dataset":
+        """Return a new dataset with column ``old`` renamed to ``new``."""
+        if new in self._columns and new != old:
+            raise SchemaError(f"column {new!r} already exists")
+        columns = []
+        for col in self.columns:
+            if col.name == old:
+                renamed = col.copy()
+                renamed.name = new
+                columns.append(renamed)
+            else:
+                columns.append(col)
+        if old not in self._columns:
+            raise SchemaError(f"no column named {old!r}")
+        return Dataset(columns, name=self.name)
+
+    def replace_column(self, column: Column) -> "Dataset":
+        """Return a new dataset where the column with the same name is replaced."""
+        if column.name not in self._columns:
+            raise SchemaError(f"no column named {column.name!r} to replace")
+        if len(column) != self.n_rows:
+            raise SchemaError("replacement column has a different number of rows")
+        columns = [column if c.name == column.name else c for c in self.columns]
+        return Dataset(columns, name=self.name)
+
+    def set_role(self, name: str, role: str) -> "Dataset":
+        """Return a new dataset with the role of column ``name`` changed."""
+        if role not in ColumnRole.ALL:
+            raise SchemaError(f"unknown column role {role!r}")
+        target = self[name].copy()
+        target.role = role
+        return self.replace_column(target)
+
+    def set_target(self, name: str) -> "Dataset":
+        """Return a new dataset where ``name`` is the (single) target column."""
+        columns = []
+        for col in self.columns:
+            clone = col.copy()
+            if clone.name == name:
+                clone.role = ColumnRole.TARGET
+            elif clone.role == ColumnRole.TARGET:
+                clone.role = ColumnRole.FEATURE
+            columns.append(clone)
+        if name not in self._columns:
+            raise SchemaError(f"no column named {name!r}")
+        return Dataset(columns, name=self.name)
+
+    # -- role-based access ------------------------------------------------------
+
+    def feature_columns(self) -> list[Column]:
+        """Columns whose role is ``feature``."""
+        return [c for c in self.columns if c.role == ColumnRole.FEATURE]
+
+    def feature_names(self) -> list[str]:
+        return [c.name for c in self.feature_columns()]
+
+    def target_column(self) -> Column:
+        """Return the single target column; raise if there is none or many."""
+        targets = [c for c in self.columns if c.role == ColumnRole.TARGET]
+        if len(targets) != 1:
+            raise SchemaError(
+                f"expected exactly one target column, found {len(targets)}; "
+                "call Dataset.set_target() first"
+            )
+        return targets[0]
+
+    def has_target(self) -> bool:
+        return any(c.role == ColumnRole.TARGET for c in self.columns)
+
+    # -- row manipulation ---------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "Dataset":
+        """Return a new dataset containing the rows at ``indices`` (in order)."""
+        indices = list(indices)
+        return Dataset([c.take(indices) for c in self.columns], name=self.name)
+
+    def head(self, n: int = 5) -> "Dataset":
+        """Return the first ``n`` rows."""
+        return self.take(range(min(n, self.n_rows)))
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Dataset":
+        """Return the rows for which ``predicate(row_dict)`` is truthy."""
+        indices = [i for i, row in enumerate(self.iter_rows()) if predicate(row)]
+        if not indices:
+            raise SchemaError("filter removed every row")
+        return self.take(indices)
+
+    def sample(self, n: int, seed: int = 0, replace: bool = False) -> "Dataset":
+        """Return a reproducible random sample of ``n`` rows."""
+        rng = random.Random(seed)
+        if replace:
+            indices = [rng.randrange(self.n_rows) for _ in range(n)]
+        else:
+            if n > self.n_rows:
+                raise SchemaError(f"cannot sample {n} rows without replacement from {self.n_rows}")
+            indices = rng.sample(range(self.n_rows), n)
+        return self.take(indices)
+
+    def shuffle(self, seed: int = 0) -> "Dataset":
+        """Return the dataset with rows in a reproducibly shuffled order."""
+        rng = random.Random(seed)
+        indices = list(range(self.n_rows))
+        rng.shuffle(indices)
+        return self.take(indices)
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Append the rows of ``other`` (same columns required) to this dataset."""
+        if self.column_names != other.column_names:
+            raise SchemaError("cannot concatenate datasets with different columns")
+        columns = []
+        for col in self.columns:
+            merged = col.tolist() + other[col.name].tolist()
+            columns.append(Column(col.name, merged, ctype=col.ctype, role=col.role))
+        return Dataset(columns, name=self.name)
+
+    def copy(self, name: str | None = None) -> "Dataset":
+        """Return a deep copy (values included) of the dataset."""
+        clone = Dataset([c.copy() for c in self.columns], name=name or self.name)
+        return clone
+
+    # -- numeric views -------------------------------------------------------------
+
+    def numeric_matrix(self, columns: Sequence[str] | None = None) -> np.ndarray:
+        """Return a ``(n_rows, k)`` float matrix of the selected numeric columns.
+
+        Non-numeric columns are rejected; missing values stay as ``nan``.
+        """
+        if columns is None:
+            columns = [c.name for c in self.columns if c.is_numeric()]
+        mats = []
+        for name in columns:
+            col = self[name]
+            if not col.is_numeric():
+                raise SchemaError(f"column {name!r} is not numeric")
+            mats.append(col.values.astype(float))
+        if not mats:
+            return np.empty((self.n_rows, 0), dtype=float)
+        return np.column_stack(mats)
+
+    # -- misc -----------------------------------------------------------------------
+
+    def summary(self) -> dict[str, dict[str, Any]]:
+        """Return a light-weight per-column summary (type, role, missing, distinct)."""
+        out: dict[str, dict[str, Any]] = {}
+        for col in self.columns:
+            out[col.name] = {
+                "type": col.ctype,
+                "role": col.role,
+                "n_missing": col.n_missing(),
+                "n_distinct": len(col.distinct()),
+            }
+        return out
+
+    def __deepcopy__(self, memo: dict) -> "Dataset":  # pragma: no cover - convenience
+        return self.copy()
+
+
+def _deep_copy_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Utility used by IO writers to avoid mutating caller-provided rows."""
+    return _copy.deepcopy(rows)

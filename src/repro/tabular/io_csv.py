@@ -1,0 +1,125 @@
+"""CSV ingestion and export.
+
+Open data portals overwhelmingly publish CSV (paper, §1).  The reader performs
+delimiter sniffing, missing-token normalisation and type inference so that a
+raw civic CSV file becomes a typed :class:`~repro.tabular.dataset.Dataset` in
+one call.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Column, Dataset, MISSING_TOKENS, is_missing_value
+
+
+def _normalise_cell(cell: str | None) -> str | None:
+    """Map the textual missing-value tokens used in open data to ``None``."""
+    if cell is None:
+        return None
+    text = cell.strip()
+    if text.lower() in MISSING_TOKENS:
+        return None
+    return text
+
+
+def _sniff_delimiter(text: str, default: str = ",") -> str:
+    """Guess the delimiter of ``text`` among comma, semicolon, tab and pipe."""
+    sample = text[:4096]
+    candidates = [",", ";", "\t", "|"]
+    header = sample.splitlines()[0] if sample.splitlines() else ""
+    counts = {d: header.count(d) for d in candidates}
+    best = max(counts, key=counts.get)
+    return best if counts[best] > 0 else default
+
+
+def read_csv_text(
+    text: str,
+    name: str = "csv",
+    delimiter: str | None = None,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+) -> Dataset:
+    """Parse CSV content given as a string into a :class:`Dataset`."""
+    if not text.strip():
+        raise SchemaError("empty CSV content")
+    if delimiter is None:
+        delimiter = _sniff_delimiter(text)
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if len(rows) < 2:
+        raise SchemaError("CSV must contain a header row and at least one data row")
+    header = [h.strip() for h in rows[0]]
+    if len(set(header)) != len(header):
+        raise SchemaError(f"duplicate column names in CSV header: {header}")
+    records = []
+    for raw in rows[1:]:
+        if not raw or all(not cell.strip() for cell in raw):
+            continue
+        padded = list(raw) + [None] * (len(header) - len(raw))
+        records.append({h: _normalise_cell(c) for h, c in zip(header, padded)})
+    if not records:
+        raise SchemaError("CSV contains a header but no data rows")
+    return Dataset.from_rows(records, name=name, ctypes=ctypes, roles=roles, column_order=header)
+
+
+def read_csv(
+    path: str | Path,
+    name: str | None = None,
+    delimiter: str | None = None,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+    encoding: str = "utf-8",
+) -> Dataset:
+    """Read a CSV file from disk into a :class:`Dataset`."""
+    path = Path(path)
+    with open(path, "r", encoding=encoding, newline="") as handle:
+        text = handle.read()
+    return read_csv_text(text, name=name or path.stem, delimiter=delimiter, ctypes=ctypes, roles=roles)
+
+
+def _format_cell(value) -> str:
+    if is_missing_value(value):
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def write_csv(dataset: Dataset, path: str | Path, delimiter: str = ",", encoding: str = "utf-8") -> Path:
+    """Write a dataset to a CSV file and return the path written."""
+    path = Path(path)
+    with open(path, "w", encoding=encoding, newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(dataset.column_names)
+        for row in dataset.iter_rows():
+            writer.writerow([_format_cell(row[name]) for name in dataset.column_names])
+    return path
+
+
+def write_csv_text(dataset: Dataset, delimiter: str = ",") -> str:
+    """Serialise a dataset to a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter)
+    writer.writerow(dataset.column_names)
+    for row in dataset.iter_rows():
+        writer.writerow([_format_cell(row[name]) for name in dataset.column_names])
+    return buffer.getvalue()
+
+
+def read_csv_files(paths: Sequence[str | Path], name: str = "combined") -> Dataset:
+    """Read and vertically concatenate several CSV files with identical headers."""
+    if not paths:
+        raise SchemaError("no CSV files given")
+    datasets = [read_csv(p) for p in paths]
+    combined = datasets[0]
+    for extra in datasets[1:]:
+        combined = combined.concat(extra)
+    combined.name = name
+    return combined

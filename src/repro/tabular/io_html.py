@@ -1,0 +1,118 @@
+"""HTML ``<table>`` ingestion and export.
+
+The paper motivates OpenBI with open data shared "as HTML tables, without
+paying attention in structure nor semantics" (§1).  This module scrapes the
+first (or ``index``-th) table out of an HTML document using only the standard
+library and turns it into a typed dataset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from html.parser import HTMLParser
+from pathlib import Path
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Dataset, MISSING_TOKENS, is_missing_value
+
+
+class _TableParser(HTMLParser):
+    """Collect the cell text of every ``<table>`` in an HTML document."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tables: list[list[list[str]]] = []
+        self._in_table = False
+        self._in_row = False
+        self._in_cell = False
+        self._current_table: list[list[str]] = []
+        self._current_row: list[str] = []
+        self._current_cell: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        if tag == "table":
+            self._in_table = True
+            self._current_table = []
+        elif tag == "tr" and self._in_table:
+            self._in_row = True
+            self._current_row = []
+        elif tag in ("td", "th") and self._in_row:
+            self._in_cell = True
+            self._current_cell = []
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in ("td", "th") and self._in_cell:
+            self._in_cell = False
+            self._current_row.append("".join(self._current_cell).strip())
+        elif tag == "tr" and self._in_row:
+            self._in_row = False
+            if self._current_row:
+                self._current_table.append(self._current_row)
+        elif tag == "table" and self._in_table:
+            self._in_table = False
+            if self._current_table:
+                self.tables.append(self._current_table)
+
+    def handle_data(self, data: str) -> None:
+        if self._in_cell:
+            self._current_cell.append(data)
+
+
+def _normalise(cell: str) -> str | None:
+    return None if cell.strip().lower() in MISSING_TOKENS else cell.strip()
+
+
+def read_html_table(
+    source: str | Path,
+    name: str | None = None,
+    index: int = 0,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+) -> Dataset:
+    """Parse the ``index``-th HTML table (path or HTML string) into a dataset."""
+    inferred_name = "html"
+    if isinstance(source, Path) or (isinstance(source, str) and "<" not in source):
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        inferred_name = path.stem
+    else:
+        text = str(source)
+    parser = _TableParser()
+    parser.feed(text)
+    if not parser.tables:
+        raise SchemaError("no <table> element found in HTML source")
+    if index >= len(parser.tables):
+        raise SchemaError(f"requested table {index}, document only has {len(parser.tables)}")
+    table = parser.tables[index]
+    if len(table) < 2:
+        raise SchemaError("HTML table needs a header row and at least one data row")
+    header = [h.strip() for h in table[0]]
+    records = []
+    for raw in table[1:]:
+        padded = list(raw) + [""] * (len(header) - len(raw))
+        records.append({h: _normalise(c) for h, c in zip(header, padded)})
+    return Dataset.from_rows(records, name=name or inferred_name, ctypes=ctypes, roles=roles, column_order=header)
+
+
+def write_html_table(dataset: Dataset, path: str | Path | None = None, caption: str | None = None) -> str:
+    """Serialise a dataset as a plain HTML table; optionally write to disk."""
+    lines = ["<table>"]
+    if caption:
+        lines.append(f"  <caption>{caption}</caption>")
+    lines.append("  <tr>" + "".join(f"<th>{name}</th>" for name in dataset.column_names) + "</tr>")
+    for row in dataset.iter_rows():
+        cells = []
+        for name in dataset.column_names:
+            value = row[name]
+            if is_missing_value(value):
+                cells.append("<td></td>")
+            elif isinstance(value, float) and value.is_integer():
+                cells.append(f"<td>{int(value)}</td>")
+            else:
+                cells.append(f"<td>{value}</td>")
+        lines.append("  <tr>" + "".join(cells) + "</tr>")
+    lines.append("</table>")
+    text = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,48 @@
+"""JSON (record-oriented) ingestion and export."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Dataset, is_missing_value
+
+
+def read_json_records(
+    source: str | Path,
+    name: str | None = None,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+) -> Dataset:
+    """Read a JSON array of objects (from a path or a JSON string) into a dataset."""
+    text: str
+    inferred_name = "json"
+    if isinstance(source, Path) or (isinstance(source, str) and not source.lstrip().startswith(("[", "{"))):
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        inferred_name = path.stem
+    else:
+        text = str(source)
+    payload = json.loads(text)
+    if isinstance(payload, dict) and "records" in payload:
+        payload = payload["records"]
+    if not isinstance(payload, list) or not payload:
+        raise SchemaError("JSON source must be a non-empty array of objects")
+    if not all(isinstance(item, dict) for item in payload):
+        raise SchemaError("every JSON record must be an object")
+    return Dataset.from_rows(payload, name=name or inferred_name, ctypes=ctypes, roles=roles)
+
+
+def write_json_records(dataset: Dataset, path: str | Path | None = None, indent: int = 2) -> str:
+    """Serialise a dataset as a JSON array of objects; optionally write to disk."""
+
+    def _clean(value):
+        return None if is_missing_value(value) else value
+
+    records = [{k: _clean(v) for k, v in row.items()} for row in dataset.iter_rows()]
+    text = json.dumps(records, indent=indent, ensure_ascii=False, default=str)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,90 @@
+"""Record-oriented XML ingestion and export.
+
+Open data is frequently shared as flat XML (paper, §1): a root element whose
+children are uniform "record" elements, each with one child element (or
+attribute) per field.  This module reads that shape into a
+:class:`~repro.tabular.dataset.Dataset` and writes datasets back out the same
+way.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Dataset, MISSING_TOKENS, is_missing_value
+
+
+def _cell_from_text(text: str | None) -> str | None:
+    if text is None:
+        return None
+    stripped = text.strip()
+    if stripped.lower() in MISSING_TOKENS:
+        return None
+    return stripped
+
+
+def read_xml_records(
+    source: str | Path,
+    name: str | None = None,
+    record_tag: str | None = None,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+) -> Dataset:
+    """Parse record-oriented XML (path or XML string) into a dataset.
+
+    ``record_tag`` restricts which child elements of the root are treated as
+    records; by default every direct child is a record.  Fields are taken from
+    each record's child elements (tag → text) and attributes.
+    """
+    inferred_name = "xml"
+    if isinstance(source, Path) or (isinstance(source, str) and not source.lstrip().startswith("<")):
+        path = Path(source)
+        text = path.read_text(encoding="utf-8")
+        inferred_name = path.stem
+    else:
+        text = str(source)
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SchemaError(f"invalid XML: {exc}") from exc
+    records = []
+    for element in root:
+        if record_tag is not None and element.tag != record_tag:
+            continue
+        row: dict[str, str | None] = {}
+        for key, value in element.attrib.items():
+            row[key] = _cell_from_text(value)
+        for child in element:
+            row[child.tag] = _cell_from_text(child.text)
+        if row:
+            records.append(row)
+    if not records:
+        raise SchemaError("XML source contains no record elements")
+    return Dataset.from_rows(records, name=name or inferred_name, ctypes=ctypes, roles=roles)
+
+
+def write_xml_records(
+    dataset: Dataset,
+    path: str | Path | None = None,
+    root_tag: str = "records",
+    record_tag: str = "record",
+) -> str:
+    """Serialise a dataset as record-oriented XML; optionally write to disk."""
+    root = ET.Element(root_tag)
+    for row in dataset.iter_rows():
+        record = ET.SubElement(root, record_tag)
+        for key, value in row.items():
+            child = ET.SubElement(record, key)
+            if not is_missing_value(value):
+                if isinstance(value, float) and value.is_integer():
+                    child.text = str(int(value))
+                else:
+                    child.text = str(value)
+    ET.indent(root)
+    text = ET.tostring(root, encoding="unicode")
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,192 @@
+"""Schemas: declarative expectations about a dataset's structure and content.
+
+A :class:`Schema` is both documentation (what columns a source should have)
+and an executable validator: :meth:`Schema.validate` returns a list of
+violations that the consistency data quality criterion
+(:mod:`repro.quality.consistency`) turns into a measurable score.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Column, ColumnType, Dataset, is_missing_value
+
+
+@dataclass
+class ColumnSpec:
+    """Expectations for a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name that must exist in the dataset.
+    ctype:
+        Expected :class:`~repro.tabular.dataset.ColumnType`; ``None`` accepts
+        any type.
+    required:
+        When ``True`` (default) the column must be present.
+    nullable:
+        When ``False``, missing cells are violations.
+    min_value / max_value:
+        Inclusive numeric bounds (numeric columns only).
+    allowed_values:
+        Closed domain for categorical/boolean/string columns.
+    unique:
+        When ``True`` duplicate non-missing values are violations.
+    """
+
+    name: str
+    ctype: str | None = None
+    required: bool = True
+    nullable: bool = True
+    min_value: float | None = None
+    max_value: float | None = None
+    allowed_values: tuple[Any, ...] | None = None
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ctype is not None and self.ctype not in ColumnType.ALL:
+            raise SchemaError(f"unknown column type {self.ctype!r} in spec for {self.name!r}")
+
+    def validate_column(self, column: Column) -> list["Violation"]:
+        """Validate one column against this spec and return violations."""
+        violations: list[Violation] = []
+        if self.ctype is not None and column.ctype != self.ctype:
+            violations.append(
+                Violation(self.name, "type", f"expected {self.ctype}, found {column.ctype}")
+            )
+        mask = column.missing_mask()
+        if not self.nullable and mask.any():
+            violations.append(
+                Violation(self.name, "nullability", f"{int(mask.sum())} missing cells in non-nullable column")
+            )
+        values = column.tolist()
+        for index, value in enumerate(values):
+            if is_missing_value(value):
+                continue
+            if column.is_numeric():
+                if self.min_value is not None and value < self.min_value:
+                    violations.append(
+                        Violation(self.name, "range", f"row {index}: {value} < min {self.min_value}", row=index)
+                    )
+                if self.max_value is not None and value > self.max_value:
+                    violations.append(
+                        Violation(self.name, "range", f"row {index}: {value} > max {self.max_value}", row=index)
+                    )
+            if self.allowed_values is not None and value not in self.allowed_values:
+                violations.append(
+                    Violation(self.name, "domain", f"row {index}: {value!r} not in allowed domain", row=index)
+                )
+        if self.unique:
+            seen: dict[Any, int] = {}
+            for index, value in enumerate(values):
+                if is_missing_value(value):
+                    continue
+                if value in seen:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            "uniqueness",
+                            f"row {index}: value {value!r} duplicates row {seen[value]}",
+                            row=index,
+                        )
+                    )
+                else:
+                    seen[value] = index
+        return violations
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single schema violation found in a dataset."""
+
+    column: str
+    kind: str
+    message: str
+    row: int | None = None
+
+
+@dataclass
+class Schema:
+    """A named collection of :class:`ColumnSpec` plus cross-column rules.
+
+    ``row_rules`` are ``(name, callable)`` pairs: the callable receives a row
+    dictionary and returns ``True`` when the row satisfies the rule.
+    """
+
+    name: str
+    specs: list[ColumnSpec] = field(default_factory=list)
+    row_rules: list[tuple[str, Any]] = field(default_factory=list)
+
+    def spec_for(self, column_name: str) -> ColumnSpec | None:
+        """Return the spec for ``column_name`` if one exists."""
+        for spec in self.specs:
+            if spec.name == column_name:
+                return spec
+        return None
+
+    def add_spec(self, spec: ColumnSpec) -> "Schema":
+        """Add a column spec in place and return ``self`` for chaining."""
+        if self.spec_for(spec.name) is not None:
+            raise SchemaError(f"schema {self.name!r} already has a spec for {spec.name!r}")
+        self.specs.append(spec)
+        return self
+
+    def add_row_rule(self, name: str, rule) -> "Schema":
+        """Add a cross-column row rule in place and return ``self``."""
+        self.row_rules.append((name, rule))
+        return self
+
+    def validate(self, dataset: Dataset) -> list[Violation]:
+        """Validate ``dataset`` and return every violation found."""
+        violations: list[Violation] = []
+        for spec in self.specs:
+            if spec.name not in dataset:
+                if spec.required:
+                    violations.append(Violation(spec.name, "presence", "required column is missing"))
+                continue
+            violations.extend(spec.validate_column(dataset[spec.name]))
+        for rule_name, rule in self.row_rules:
+            for index, row in enumerate(dataset.iter_rows()):
+                try:
+                    ok = bool(rule(row))
+                except Exception as exc:  # rule crashed on this row: count as violation
+                    violations.append(
+                        Violation("<row>", "rule-error", f"row {index}: rule {rule_name!r} raised {exc!r}", row=index)
+                    )
+                    continue
+                if not ok:
+                    violations.append(
+                        Violation("<row>", "rule", f"row {index}: violates rule {rule_name!r}", row=index)
+                    )
+        return violations
+
+    def is_valid(self, dataset: Dataset) -> bool:
+        """Return ``True`` when the dataset has no violations."""
+        return not self.validate(dataset)
+
+
+def infer_schema(dataset: Dataset, name: str | None = None, categorical_domains: bool = True) -> Schema:
+    """Infer a permissive schema from an existing (assumed clean) dataset.
+
+    Numeric columns get the observed min/max as bounds; categorical and
+    boolean columns get the observed domain when ``categorical_domains`` is
+    set.  The inferred schema is the "clean reference" used by the consistency
+    criterion after data quality problems have been injected.
+    """
+    schema = Schema(name or f"{dataset.name}-schema")
+    for column in dataset.columns:
+        spec = ColumnSpec(name=column.name, ctype=column.ctype, nullable=column.n_missing() > 0)
+        if column.is_numeric():
+            present = [v for v in column.tolist() if not is_missing_value(v)]
+            if present:
+                spec.min_value = float(min(present))
+                spec.max_value = float(max(present))
+        elif categorical_domains and column.ctype in (ColumnType.CATEGORICAL, ColumnType.BOOLEAN):
+            spec.allowed_values = tuple(column.distinct())
+        schema.add_spec(spec)
+    return schema

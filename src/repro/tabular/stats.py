@@ -1,0 +1,246 @@
+"""Descriptive statistics and dependence measures over datasets.
+
+The data quality criteria in :mod:`repro.quality` (correlation, balance,
+outliers) are built on these primitives, and the OLAP/reporting layer uses
+them to summarise measures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Column, ColumnType, Dataset, is_missing_value
+
+
+# ---------------------------------------------------------------------------
+# Single-column summaries
+# ---------------------------------------------------------------------------
+
+def numeric_summary(column: Column) -> dict[str, float]:
+    """Return count/mean/std/min/quartiles/max for a numeric column."""
+    if not column.is_numeric():
+        raise SchemaError(f"column {column.name!r} is not numeric")
+    values = column.values.astype(float)
+    present = values[~np.isnan(values)]
+    if present.size == 0:
+        return {key: float("nan") for key in ("count", "mean", "std", "min", "q1", "median", "q3", "max")} | {
+            "count": 0.0
+        }
+    return {
+        "count": float(present.size),
+        "mean": float(present.mean()),
+        "std": float(present.std()),
+        "min": float(present.min()),
+        "q1": float(np.percentile(present, 25)),
+        "median": float(np.percentile(present, 50)),
+        "q3": float(np.percentile(present, 75)),
+        "max": float(present.max()),
+    }
+
+
+def categorical_summary(column: Column) -> dict[str, Any]:
+    """Return count/cardinality/mode/mode frequency for a non-numeric column."""
+    counts = column.value_counts()
+    if not counts:
+        return {"count": 0, "n_distinct": 0, "mode": None, "mode_freq": 0}
+    mode = max(counts, key=counts.get)
+    return {
+        "count": sum(counts.values()),
+        "n_distinct": len(counts),
+        "mode": mode,
+        "mode_freq": counts[mode],
+    }
+
+
+def describe(dataset: Dataset) -> dict[str, dict[str, Any]]:
+    """Return a per-column description mixing numeric and categorical summaries."""
+    out: dict[str, dict[str, Any]] = {}
+    for column in dataset.columns:
+        base: dict[str, Any] = {"type": column.ctype, "n_missing": column.n_missing()}
+        if column.is_numeric():
+            base.update(numeric_summary(column))
+        else:
+            base.update(categorical_summary(column))
+        out[column.name] = base
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Dependence measures
+# ---------------------------------------------------------------------------
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation between two numeric sequences (pairwise-complete)."""
+    xa = np.asarray(list(x), dtype=float)
+    ya = np.asarray(list(y), dtype=float)
+    if xa.shape != ya.shape:
+        raise SchemaError("sequences must have the same length")
+    mask = ~(np.isnan(xa) | np.isnan(ya))
+    xa, ya = xa[mask], ya[mask]
+    if xa.size < 2:
+        return float("nan")
+    if xa.std() == 0 or ya.std() == 0:
+        return 0.0
+    return float(np.corrcoef(xa, ya)[0, 1])
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (pairwise-complete), implemented via ranks."""
+    xa = np.asarray(list(x), dtype=float)
+    ya = np.asarray(list(y), dtype=float)
+    mask = ~(np.isnan(xa) | np.isnan(ya))
+    xa, ya = xa[mask], ya[mask]
+    if xa.size < 2:
+        return float("nan")
+    return pearson(_rank(xa), _rank(ya))
+
+
+def _rank(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty_like(values)
+    sorted_values = values[order]
+    ranks_in_order = np.arange(1, values.size + 1, dtype=float)
+    # average ranks for ties
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        ranks_in_order[i : j + 1] = (i + j + 2) / 2.0
+        i = j + 1
+    ranks[order] = ranks_in_order
+    return ranks
+
+
+def correlation_matrix(dataset: Dataset, columns: Sequence[str] | None = None, method: str = "pearson") -> tuple[list[str], np.ndarray]:
+    """Return (column names, correlation matrix) over the numeric columns."""
+    if method not in ("pearson", "spearman"):
+        raise SchemaError(f"unknown correlation method {method!r}")
+    if columns is None:
+        columns = [c.name for c in dataset.columns if c.is_numeric()]
+    corr_fn = pearson if method == "pearson" else spearman
+    k = len(columns)
+    matrix = np.eye(k)
+    for i in range(k):
+        for j in range(i + 1, k):
+            value = corr_fn(dataset[columns[i]].values, dataset[columns[j]].values)
+            matrix[i, j] = matrix[j, i] = value
+    return list(columns), matrix
+
+
+def entropy(column: Column, base: float = 2.0) -> float:
+    """Shannon entropy of a categorical/boolean column's value distribution."""
+    counts = column.value_counts()
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts.values():
+        p = count / total
+        result -= p * math.log(p, base)
+    return result
+
+
+def mutual_information(a: Column, b: Column, base: float = 2.0) -> float:
+    """Mutual information between two discrete columns (missing cells ignored)."""
+    pairs = [
+        (x, y)
+        for x, y in zip(a.tolist(), b.tolist())
+        if not is_missing_value(x) and not is_missing_value(y)
+    ]
+    if not pairs:
+        return 0.0
+    total = len(pairs)
+    joint: dict[tuple, int] = {}
+    marg_a: dict[Any, int] = {}
+    marg_b: dict[Any, int] = {}
+    for x, y in pairs:
+        joint[(x, y)] = joint.get((x, y), 0) + 1
+        marg_a[x] = marg_a.get(x, 0) + 1
+        marg_b[y] = marg_b.get(y, 0) + 1
+    mi = 0.0
+    for (x, y), count in joint.items():
+        p_xy = count / total
+        p_x = marg_a[x] / total
+        p_y = marg_b[y] / total
+        mi += p_xy * math.log(p_xy / (p_x * p_y), base)
+    return max(mi, 0.0)
+
+
+def cramers_v(a: Column, b: Column) -> float:
+    """Cramér's V association between two categorical columns (0 = none, 1 = perfect)."""
+    pairs = [
+        (x, y)
+        for x, y in zip(a.tolist(), b.tolist())
+        if not is_missing_value(x) and not is_missing_value(y)
+    ]
+    if not pairs:
+        return 0.0
+    levels_a = sorted({str(x) for x, _ in pairs})
+    levels_b = sorted({str(y) for _, y in pairs})
+    if len(levels_a) < 2 or len(levels_b) < 2:
+        return 0.0
+    index_a = {v: i for i, v in enumerate(levels_a)}
+    index_b = {v: i for i, v in enumerate(levels_b)}
+    table = np.zeros((len(levels_a), len(levels_b)))
+    for x, y in pairs:
+        table[index_a[str(x)], index_b[str(y)]] += 1
+    n = table.sum()
+    row_sums = table.sum(axis=1, keepdims=True)
+    col_sums = table.sum(axis=0, keepdims=True)
+    expected = row_sums @ col_sums / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.nansum(np.where(expected > 0, (table - expected) ** 2 / expected, 0.0))
+    phi2 = chi2 / n
+    k = min(len(levels_a) - 1, len(levels_b) - 1)
+    if k == 0:
+        return 0.0
+    return float(math.sqrt(phi2 / k))
+
+
+def correlation_ratio(categories: Column, values: Column) -> float:
+    """Correlation ratio (eta) between a categorical and a numeric column."""
+    if not values.is_numeric():
+        raise SchemaError("second column must be numeric for the correlation ratio")
+    pairs = [
+        (c, float(v))
+        for c, v in zip(categories.tolist(), values.tolist())
+        if not is_missing_value(c) and not is_missing_value(v)
+    ]
+    if len(pairs) < 2:
+        return 0.0
+    groups: dict[Any, list[float]] = {}
+    for c, v in pairs:
+        groups.setdefault(c, []).append(v)
+    all_values = np.asarray([v for _, v in pairs])
+    grand_mean = all_values.mean()
+    ss_between = sum(len(g) * (np.mean(g) - grand_mean) ** 2 for g in groups.values())
+    ss_total = float(((all_values - grand_mean) ** 2).sum())
+    if ss_total == 0:
+        return 0.0
+    return float(math.sqrt(ss_between / ss_total))
+
+
+def gini_impurity(column: Column) -> float:
+    """Gini impurity of a discrete column's distribution (0 = pure)."""
+    counts = column.value_counts()
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return 1.0 - sum((c / total) ** 2 for c in counts.values())
+
+
+def frequency_table(column: Column, normalise: bool = False) -> dict[Any, float]:
+    """Value → frequency (or relative frequency) table for a column."""
+    counts = column.value_counts()
+    if not normalise:
+        return {k: float(v) for k, v in counts.items()}
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {k: v / total for k, v in counts.items()}

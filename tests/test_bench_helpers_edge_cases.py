@@ -1,0 +1,102 @@
+"""Tests for the benchmark sweep helpers and assorted edge-case behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._sweep import degradation, most_robust, sensitivity_sweep, sweep_rows
+from repro.datasets import make_classification_dataset
+from repro.lod.graph import Graph
+from repro.lod.tabulate import tabulate_entities
+from repro.lod.terms import Literal
+from repro.lod.vocabulary import Namespace, RDFS
+from repro.mining.rule_induction import _MISSING, _bin_edges, _discretise_value
+from repro.tabular.dataset import ColumnType, Dataset
+from repro.tabular.transforms import pivot_counts
+
+EX = Namespace("http://example.org/")
+
+
+class TestSweepHelpers:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        dataset = make_classification_dataset(n_rows=80, n_numeric=2, n_categorical=1, seed=4)
+        return sensitivity_sweep(
+            dataset,
+            "completeness",
+            severities=(0.0, 0.4),
+            algorithms=("naive_bayes", "one_r"),
+            cv_folds=3,
+        )
+
+    def test_sweep_structure(self, sweep):
+        assert set(sweep) == {"naive_bayes", "one_r"}
+        for by_severity in sweep.values():
+            assert set(by_severity) == {0.0, 0.4}
+            assert all(0.0 <= value <= 1.0 for value in by_severity.values())
+
+    def test_sweep_rows_are_sorted_by_algorithm(self, sweep):
+        rows = sweep_rows(sweep)
+        assert [row[0] for row in rows] == ["naive_bayes", "one_r"]
+        assert len(rows[0]) == 3  # algorithm + two severities
+
+    def test_degradation_non_negative_for_monotone_results(self):
+        results = {"algo": {0.0: 0.9, 0.5: 0.7}}
+        assert degradation(results, "algo") == pytest.approx(0.2)
+
+    def test_most_robust_picks_smallest_drop(self):
+        results = {"fragile": {0.0: 0.95, 0.5: 0.6}, "sturdy": {0.0: 0.9, 0.5: 0.85}}
+        assert most_robust(results) == "sturdy"
+
+
+class TestRuleInductionDiscretisation:
+    def test_bin_edges_constant_column(self):
+        assert _bin_edges([3.0, 3.0, 3.0], bins=4) == [3.0]
+
+    def test_discretise_missing_and_non_numeric(self):
+        assert _discretise_value(None, [1.0, 2.0]) == _MISSING
+        assert _discretise_value("not-a-number", [1.0, 2.0]) == _MISSING
+
+    def test_discretise_assigns_monotone_bins(self):
+        edges = [1.0, 2.0, 3.0]
+        bins = [_discretise_value(v, edges) for v in (0.5, 1.5, 2.5, 9.0)]
+        assert bins == ["bin0", "bin1", "bin2", "bin3"]
+
+
+class TestTabulateColumnNaming:
+    def test_predicate_labels_become_column_names(self):
+        graph = Graph()
+        nitrogen = EX["prop/no2Level"]
+        graph.add(nitrogen, RDFS.label, Literal("Nitrogen Dioxide"))
+        graph.add_resource(EX["r1"], rdf_type=EX.Reading, properties={nitrogen: Literal(12.5)})
+        graph.add_resource(EX["r2"], rdf_type=EX.Reading, properties={nitrogen: Literal(30.0)})
+        dataset = tabulate_entities(graph, EX.Reading)
+        assert "nitrogen_dioxide" in dataset.column_names
+
+    def test_colliding_local_names_get_suffixes(self):
+        graph = Graph()
+        a = EX["vocabA/value"]
+        b = EX["vocabB/value"]
+        graph.add_resource(EX["e1"], rdf_type=EX.Entity, properties={a: Literal(1), b: Literal(2)})
+        dataset = tabulate_entities(graph, EX.Entity)
+        value_columns = [name for name in dataset.column_names if name.startswith("value")]
+        assert len(value_columns) == 2
+        assert len(set(value_columns)) == 2
+
+
+class TestPivotCountsEdgeCases:
+    def test_missing_cells_are_ignored(self):
+        dataset = Dataset.from_dict(
+            {"district": ["north", "north", None, "south"], "topic": ["waste", None, "noise", "waste"]},
+            ctypes={"district": ColumnType.CATEGORICAL, "topic": ColumnType.CATEGORICAL},
+        )
+        pivoted = pivot_counts(dataset, "district", "topic")
+        north = next(row for row in pivoted.iter_rows() if row["district"] == "north")
+        assert north["topic=waste"] == 1
+        total = sum(
+            row[name]
+            for row in pivoted.iter_rows()
+            for name in pivoted.column_names
+            if name.startswith("topic=")
+        )
+        assert total == 2  # only the fully observed pairs are counted

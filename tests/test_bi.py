@@ -1,0 +1,200 @@
+"""Unit tests for the OpenBI front end: OLAP, reporting, KPIs, dashboards, sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bi import (
+    Cube,
+    Dashboard,
+    Dimension,
+    KPI,
+    Measure,
+    Report,
+    dataset_to_table_text,
+    evaluate_kpis,
+    share_cube_as_lod,
+    share_recommendation_as_lod,
+    share_report_as_lod,
+)
+from repro.core import Advisor
+from repro.exceptions import OLAPError, ReproError
+from repro.lod.vocabulary import OPENBI, QB
+from repro.quality import measure_quality
+from repro.tabular.dataset import Dataset
+
+
+@pytest.fixture
+def budget_cube(budget_dataset):
+    return Cube(
+        budget_dataset,
+        dimensions=[
+            Dimension("district", ("district",)),
+            Dimension("category", ("category",)),
+            Dimension("year", ("year",)),
+        ],
+        measures=[
+            Measure("total_budgeted", "budgeted", "sum"),
+            Measure("mean_rate", "execution_rate", "mean"),
+        ],
+    )
+
+
+class TestCube:
+    def test_construction_validation(self, budget_dataset):
+        with pytest.raises(OLAPError):
+            Cube(budget_dataset, [], [Measure("m", "budgeted")])
+        with pytest.raises(OLAPError):
+            Cube(budget_dataset, [Dimension("d", ("district",))], [])
+        with pytest.raises(OLAPError):
+            Cube(budget_dataset, [Dimension("d", ("ghost",))], [Measure("m", "budgeted")])
+        with pytest.raises(OLAPError):
+            Cube(budget_dataset, [Dimension("d", ("district",))], [Measure("m", "district")])
+        with pytest.raises(OLAPError):
+            Measure("m", "x", aggregation="geometric_mean")
+        with pytest.raises(OLAPError):
+            Dimension("d", ())
+
+    def test_aggregate_by_level(self, budget_cube, budget_dataset):
+        by_district = budget_cube.aggregate(["district"])
+        assert by_district.n_rows == len(budget_dataset["district"].distinct())
+        total = sum(by_district["total_budgeted"].tolist())
+        assert total == pytest.approx(sum(budget_dataset["budgeted"].tolist()))
+
+    def test_grand_total(self, budget_cube, budget_dataset):
+        totals = budget_cube.aggregate()
+        assert totals.n_rows == 1
+        assert totals["total_budgeted"][0] == pytest.approx(sum(budget_dataset["budgeted"].tolist()))
+
+    def test_rollup_and_drill_down(self, budget_cube):
+        assert budget_cube.rollup("district").n_rows == budget_cube.drill_down("district").n_rows
+        with pytest.raises(OLAPError):
+            budget_cube.rollup("district", to_level="continent")
+        with pytest.raises(OLAPError):
+            budget_cube.rollup("galaxy")
+
+    def test_slice(self, budget_cube):
+        sliced = budget_cube.slice("category", "transport")
+        assert set(sliced.dataset["category"].distinct()) == {"transport"}
+        with pytest.raises(OLAPError):
+            budget_cube.slice("ghost", "x")
+
+    def test_dice(self, budget_cube):
+        diced = budget_cube.dice({"district": ["centre", "north"], "category": ["transport", "health"]})
+        assert set(diced.dataset["district"].distinct()) <= {"centre", "north"}
+        assert set(diced.dataset["category"].distinct()) <= {"transport", "health"}
+
+    def test_pivot(self, budget_cube, budget_dataset):
+        pivoted = budget_cube.pivot("district", "year")
+        assert pivoted.n_rows == len(budget_dataset["district"].distinct())
+        assert any(name.startswith("year=") for name in pivoted.column_names)
+        with pytest.raises(OLAPError):
+            budget_cube.pivot("district", "year", measure_name="ghost")
+
+    def test_measure_summary(self, budget_cube):
+        summary = budget_cube.measure_summary()
+        assert summary["total_budgeted"]["aggregated"] > 0
+        assert summary["mean_rate"]["min"] <= summary["mean_rate"]["max"]
+
+    def test_aggregate_unknown_level(self, budget_cube):
+        with pytest.raises(OLAPError):
+            budget_cube.aggregate(["galaxy"])
+
+
+class TestReporting:
+    def test_table_text_formats(self, tiny_dataset):
+        for fmt in ("text", "markdown", "html"):
+            rendered = dataset_to_table_text(tiny_dataset, fmt=fmt)
+            assert "amount" in rendered
+        with pytest.raises(ReproError):
+            dataset_to_table_text(tiny_dataset, fmt="latex")
+
+    def test_table_truncation(self, budget_dataset):
+        rendered = dataset_to_table_text(budget_dataset, max_rows=5)
+        assert "more rows" in rendered
+
+    def test_report_rendering(self, tiny_dataset):
+        report = (
+            Report("Demo")
+            .add_text("Introduction", "Some prose.")
+            .add_table("Data", tiny_dataset)
+            .add_key_values("Metrics", {"accuracy": 0.9, "rows": 5})
+        )
+        text = report.render("text")
+        markdown = report.render("markdown")
+        html = report.render("html")
+        assert "Introduction" in text and "accuracy" in text
+        assert markdown.startswith("# Demo") and "## Data" in markdown
+        assert "<h1>Demo</h1>" in html and "<table>" in html
+        with pytest.raises(ReproError):
+            report.render("pdf")
+
+
+class TestKPIs:
+    def test_column_kpi(self, budget_dataset):
+        kpi = KPI("mean rate", "execution_rate", target=0.5, higher_is_better=True)
+        status = kpi.status(budget_dataset)
+        assert status["status"] == "good"
+        assert status["value"] > 0.5
+
+    def test_callable_kpi_and_bad_status(self, budget_dataset):
+        kpi = KPI(
+            "overrun share",
+            lambda ds: sum(1 for v in ds["overrun"].tolist() if str(v).lower() in {"yes", "true"}) / ds.n_rows,
+            target=0.05,
+            higher_is_better=False,
+            tolerance=0.1,
+        )
+        assert kpi.status(budget_dataset)["status"] == "bad"
+
+    def test_warning_band(self):
+        ds = Dataset.from_dict({"x": [0.93, 0.93]})
+        kpi = KPI("x", "x", target=1.0, higher_is_better=True, tolerance=0.1)
+        assert kpi.status(ds)["status"] == "warning"
+
+    def test_unknown_column_rejected(self, budget_dataset):
+        with pytest.raises(ReproError):
+            KPI("ghost", "ghost", target=1.0).value(budget_dataset)
+
+    def test_evaluate_kpis(self, budget_dataset):
+        statuses = evaluate_kpis([KPI("rate", "execution_rate", target=0.5)], budget_dataset)
+        assert len(statuses) == 1
+        with pytest.raises(ReproError):
+            evaluate_kpis([], budget_dataset)
+
+
+class TestDashboard:
+    def test_full_dashboard(self, budget_dataset, budget_cube, small_knowledge_base):
+        advisor = Advisor(small_knowledge_base)
+        recommendation = advisor.advise(budget_dataset)
+        dashboard = (
+            Dashboard("City")
+            .add_kpi_panel("KPIs", [KPI("rate", "execution_rate", target=0.5)], budget_dataset)
+            .add_quality_panel("Quality", measure_quality(budget_dataset))
+            .add_cube_panel("By district", budget_cube, ["district"])
+            .add_recommendation_panel("Mining advice", recommendation)
+            .add_table_panel("Sample", budget_dataset.head(3))
+            .add_text_panel("Notes", "All open data, CC-BY.")
+        )
+        rendered = dashboard.render()
+        assert rendered.startswith("# City")
+        assert dashboard.panel_titles == ["KPIs", "Quality", "By district", "Mining advice", "Sample", "Notes"]
+        assert "Recommended algorithm" in rendered
+        report = dashboard.to_report()
+        assert len(report.sections) == 6
+
+
+class TestSharing:
+    def test_share_cube(self, budget_cube):
+        graph = share_cube_as_lod(budget_cube, ["district"])
+        assert len(graph.subjects_of_type(QB.Observation)) == 6
+
+    def test_share_report(self, tiny_dataset):
+        report = Report("Shared").add_text("Intro", "x").add_table("Data", tiny_dataset)
+        graph = share_report_as_lod(report)
+        assert len(graph.subjects_of_type(OPENBI.ReportSection)) == 2
+
+    def test_share_recommendation(self, budget_dataset, small_knowledge_base):
+        recommendation = Advisor(small_knowledge_base).advise(budget_dataset)
+        graph = share_recommendation_as_lod(recommendation)
+        assert len(graph.subjects_of_type(OPENBI.Recommendation)) == 1

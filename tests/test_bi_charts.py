@@ -1,0 +1,75 @@
+"""Unit tests for the plain-text chart helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bi import bar_chart, series_chart, sparkline
+from repro.exceptions import ReproError
+
+
+class TestBarChart:
+    def test_scaling_and_order(self):
+        chart = bar_chart({"transport": 100.0, "health": 50.0, "parks": 25.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].startswith("transport")
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_negative_values_use_minus_bars(self):
+        chart = bar_chart({"surplus": 10.0, "deficit": -10.0}, width=10, sort=False)
+        assert "-" * 10 in chart
+
+    def test_title_and_custom_fill(self):
+        chart = bar_chart({"a": 1.0}, title="Spending", fill="=")
+        assert chart.startswith("Spending")
+        assert "=" in chart
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+        with pytest.raises(ReproError):
+            bar_chart({"a": 1.0}, width=2)
+
+
+class TestSeriesChart:
+    def test_renders_all_series_with_legend(self):
+        chart = series_chart(
+            {
+                "naive_bayes": {0.0: 0.98, 0.2: 0.95, 0.4: 0.93},
+                "knn": {0.0: 0.95, 0.2: 0.90, 0.4: 0.85},
+            },
+            width=30,
+            height=8,
+            title="accuracy vs missing rate",
+        )
+        assert chart.startswith("accuracy vs missing rate")
+        assert "legend:" in chart
+        assert "o = knn" in chart and "x = naive_bayes" in chart
+        # axis labels show the y extremes
+        assert "0.980" in chart and "0.850" in chart
+
+    def test_single_point_series(self):
+        chart = series_chart({"only": {0.5: 1.0}})
+        assert "legend:" in chart
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            series_chart({})
+        with pytest.raises(ReproError):
+            series_chart({"empty": {}})
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series(self):
+        assert len(set(sparkline([3, 3, 3]))) == 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            sparkline([])

@@ -1,0 +1,192 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import KnowledgeBase
+from repro.datasets import service_requests
+from repro.tabular import read_csv, write_csv
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-data")
+    path = directory / "requests.csv"
+    write_csv(service_requests(n_rows=150, seed=5), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def dirty_csv_path(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-dirty")
+    path = directory / "requests_dirty.csv"
+    write_csv(service_requests(n_rows=150, seed=5, dirty=True), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def kb_path(tmp_path_factory, csv_path):
+    directory = tmp_path_factory.mktemp("cli-kb")
+    path = directory / "kb.json"
+    code = main(
+        [
+            "experiment",
+            "--data", str(csv_path),
+            "--target", "resolved_late",
+            "--identifier", "request_id",
+            "--algorithms", "decision_tree,naive_bayes",
+            "--criteria", "completeness,balance",
+            "--severities", "0.0,0.3",
+            "--output", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        output = capsys.readouterr().out
+        for command in ("profile", "experiment", "advise", "mine", "publish", "rules", "datasets"):
+            assert command in output
+
+
+class TestProfileCommand:
+    def test_text_report(self, csv_path, capsys):
+        assert main(["profile", str(csv_path), "--target", "resolved_late"]) == 0
+        output = capsys.readouterr().out
+        assert "Data quality report" in output
+        assert "completeness" in output
+
+    def test_json_output(self, csv_path, capsys):
+        assert main(["profile", str(csv_path), "--target", "resolved_late", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "measures" in payload and "completeness" in payload["measures"]
+
+    def test_reference_comparison(self, csv_path, dirty_csv_path, capsys):
+        code = main(
+            ["profile", str(dirty_csv_path), "--target", "resolved_late", "--reference", str(csv_path)]
+        )
+        assert code == 0
+        assert "vs reference" in capsys.readouterr().out
+
+    def test_unknown_target_is_an_error(self, csv_path, capsys):
+        assert main(["profile", str(csv_path), "--target", "ghost"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentAndAdvise:
+    def test_experiment_writes_knowledge_base(self, kb_path):
+        knowledge_base = KnowledgeBase.from_json(kb_path)
+        assert len(knowledge_base) > 0
+        assert set(knowledge_base.algorithms()) == {"decision_tree", "naive_bayes"}
+
+    def test_experiment_with_civic_generator(self, tmp_path, capsys):
+        output = tmp_path / "kb.db"
+        code = main(
+            [
+                "experiment",
+                "--civic", "municipal_budget",
+                "--rows", "100",
+                "--algorithms", "one_r,naive_bayes",
+                "--criteria", "completeness",
+                "--severities", "0.0,0.3",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        assert len(KnowledgeBase.from_sqlite(output)) > 0
+
+    def test_experiment_without_sources_is_an_error(self, tmp_path, capsys):
+        assert main(["experiment", "--output", str(tmp_path / "kb.json")]) == 2
+
+    def test_advise_text(self, kb_path, dirty_csv_path, capsys):
+        code = main(
+            ["advise", str(kb_path), str(dirty_csv_path), "--target", "resolved_late", "--identifier", "request_id"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "the best option is" in output
+        assert "full ranking" in output
+
+    def test_advise_json(self, kb_path, dirty_csv_path, capsys):
+        code = main(
+            ["advise", str(kb_path), str(dirty_csv_path), "--target", "resolved_late", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["best_algorithm"] in {"decision_tree", "naive_bayes"}
+
+    def test_advise_missing_kb_is_an_error(self, dirty_csv_path, capsys):
+        assert main(["advise", "/nonexistent/kb.json", str(dirty_csv_path), "--target", "resolved_late"]) == 2
+
+    def test_rules_command(self, kb_path, capsys):
+        assert main(["rules", str(kb_path), "--threshold", "0.95", "--min-observations", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "knowledge base" in output.lower()
+
+
+class TestMineCommand:
+    def test_holdout_evaluation(self, csv_path, capsys):
+        code = main(
+            ["mine", str(csv_path), "--target", "resolved_late", "--identifier", "request_id",
+             "--algorithm", "naive_bayes"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "accuracy" in output and "kappa" in output
+
+    def test_cross_validation_with_rules(self, csv_path, capsys):
+        code = main(
+            ["mine", str(csv_path), "--target", "resolved_late", "--identifier", "request_id",
+             "--algorithm", "decision_tree", "--cross-validate", "--show-rules"]
+        )
+        assert code == 0
+        assert "rules:" in capsys.readouterr().out
+
+    def test_unknown_algorithm_is_an_error(self, csv_path, capsys):
+        assert main(["mine", str(csv_path), "--target", "resolved_late", "--algorithm", "oracle"]) == 2
+
+
+class TestPublishAndDatasets:
+    def test_publish_turtle_to_stdout(self, csv_path, capsys):
+        code = main(["publish", str(csv_path), "--identifier", "request_id"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "@prefix" in output and "qb:Observation" in output
+
+    def test_publish_ntriples_with_quality_to_file(self, csv_path, tmp_path, capsys):
+        output_path = tmp_path / "data.nt"
+        code = main(
+            ["publish", str(csv_path), "--target", "resolved_late", "--format", "ntriples",
+             "--with-quality", "--output", str(output_path)]
+        )
+        assert code == 0
+        text = output_path.read_text(encoding="utf-8")
+        assert "dqv#value" in text or "dqv" in text
+
+    def test_datasets_command_roundtrip(self, tmp_path, capsys):
+        output_path = tmp_path / "budget.csv"
+        code = main(["datasets", "municipal_budget", str(output_path), "--rows", "50", "--dirty"])
+        assert code == 0
+        loaded = read_csv(output_path)
+        assert loaded.n_rows >= 50
+
+    def test_datasets_unknown_name_is_an_error(self, tmp_path):
+        assert main(["datasets", "weather_on_mars", str(tmp_path / "x.csv")]) == 2

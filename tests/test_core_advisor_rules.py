@@ -1,0 +1,131 @@
+"""Unit tests for the advisor, the baselines and the guidance-rule extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Advisor, KnowledgeBase, apply_injections, derive_guidance_rules
+from repro.core.advisor import Recommendation, fixed_best_on_clean_baseline, random_choice_baseline
+from repro.core.rules import guidance_report
+from repro.datasets import make_classification_dataset
+from repro.exceptions import KnowledgeBaseError
+from repro.quality import measure_quality
+
+
+class TestAdvisorConstruction:
+    def test_empty_kb_rejected(self):
+        with pytest.raises(KnowledgeBaseError):
+            Advisor(KnowledgeBase())
+
+    def test_invalid_k_rejected(self, small_knowledge_base):
+        with pytest.raises(KnowledgeBaseError):
+            Advisor(small_knowledge_base, k=0)
+
+
+class TestAdvisorPrediction:
+    def test_predict_performance_in_range(self, small_knowledge_base, clean_classification):
+        advisor = Advisor(small_knowledge_base, k=5)
+        profile = measure_quality(clean_classification, criteria=small_knowledge_base.criteria())
+        for algorithm in small_knowledge_base.algorithms():
+            assert 0.0 <= advisor.predict_performance(profile, algorithm) <= 1.0
+
+    def test_unknown_algorithm_rejected(self, small_knowledge_base, clean_classification):
+        advisor = Advisor(small_knowledge_base)
+        profile = measure_quality(clean_classification, criteria=small_knowledge_base.criteria())
+        with pytest.raises(KnowledgeBaseError):
+            advisor.predict_performance(profile, "quantum_forest")
+
+    def test_ranking_sorted_descending(self, small_knowledge_base, clean_classification):
+        advisor = Advisor(small_knowledge_base)
+        profile = measure_quality(clean_classification, criteria=small_knowledge_base.criteria())
+        ranking = advisor.rank_algorithms(profile)
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert len(ranking) == len(small_knowledge_base.algorithms())
+
+    def test_distance_weighting_changes_little_on_clean(self, small_knowledge_base, clean_classification):
+        profile = measure_quality(clean_classification, criteria=small_knowledge_base.criteria())
+        weighted = Advisor(small_knowledge_base, distance_weighting=True).rank_algorithms(profile)
+        unweighted = Advisor(small_knowledge_base, distance_weighting=False).rank_algorithms(profile)
+        assert {a for a, _ in weighted} == {a for a, _ in unweighted}
+
+
+class TestAdvisorAdvice:
+    def test_advise_on_degraded_source(self, small_knowledge_base):
+        advisor = Advisor(small_knowledge_base, k=5)
+        unseen = make_classification_dataset(n_rows=100, n_numeric=3, n_categorical=1, seed=77)
+        dirty = apply_injections(unseen, {"completeness": 0.4}, seed=1)
+        recommendation = advisor.advise(dirty)
+        assert isinstance(recommendation, Recommendation)
+        assert recommendation.best_algorithm in small_knowledge_base.algorithms()
+        assert recommendation.expected_score == recommendation.ranked_algorithms[0][1]
+        assert "completeness" in recommendation.rationale or "quality" in recommendation.rationale
+        assert recommendation.neighbours_used == 5
+        payload = recommendation.as_dict()
+        assert payload["best_algorithm"] == recommendation.best_algorithm
+        assert len(payload["ranking"]) == len(small_knowledge_base.algorithms())
+
+    def test_advise_profile_restricts_candidates(self, small_knowledge_base, clean_classification):
+        advisor = Advisor(small_knowledge_base)
+        profile = measure_quality(clean_classification, criteria=small_knowledge_base.criteria())
+        recommendation = advisor.advise_profile(profile, algorithms=["knn", "one_r"])
+        assert recommendation.best_algorithm in {"knn", "one_r"}
+        assert len(recommendation.ranked_algorithms) == 2
+
+    def test_advice_reflects_kb_sensitivity(self, small_knowledge_base):
+        """On a heavily incomplete source the advisor should not pick the
+        algorithm the KB records as the most damaged by missing values."""
+        advisor = Advisor(small_knowledge_base, k=5)
+        unseen = make_classification_dataset(n_rows=100, n_numeric=3, n_categorical=1, seed=78)
+        dirty = apply_injections(unseen, {"completeness": 0.4}, seed=2)
+        recommendation = advisor.advise(dirty)
+        most_fragile = small_knowledge_base.robustness_ranking("completeness")[-1][0]
+        assert recommendation.best_algorithm != most_fragile
+
+
+class TestBaselines:
+    def test_random_choice_deterministic_given_seed(self):
+        algorithms = ["a", "b", "c"]
+        assert random_choice_baseline(algorithms, seed=1) == random_choice_baseline(algorithms, seed=1)
+        with pytest.raises(KnowledgeBaseError):
+            random_choice_baseline([])
+
+    def test_fixed_best_on_clean(self, small_knowledge_base):
+        best = fixed_best_on_clean_baseline(small_knowledge_base)
+        assert best in small_knowledge_base.algorithms()
+        clean_means = {
+            algorithm: small_knowledge_base.mean_metric(algorithm, phase="clean_baseline")
+            for algorithm in small_knowledge_base.algorithms()
+        }
+        assert clean_means[best] == max(clean_means.values())
+
+    def test_fixed_best_rejects_empty(self):
+        with pytest.raises(KnowledgeBaseError):
+            fixed_best_on_clean_baseline(KnowledgeBase())
+
+
+class TestGuidanceRules:
+    def test_rules_derived(self, small_knowledge_base):
+        rules = derive_guidance_rules(small_knowledge_base, threshold=0.9, min_observations=3)
+        assert rules, "expected at least one guidance rule from the knowledge base"
+        for rule in rules:
+            assert rule.best_score >= rule.worst_score
+            assert rule.best_algorithm != rule.worst_algorithm
+            assert "prefer" in rule.as_text()
+            payload = rule.as_dict()
+            assert payload["criterion"] == rule.criterion
+
+    def test_rules_empty_kb_rejected(self):
+        with pytest.raises(KnowledgeBaseError):
+            derive_guidance_rules(KnowledgeBase())
+
+    def test_min_gap_filters_trivial_rules(self, small_knowledge_base):
+        strict = derive_guidance_rules(small_knowledge_base, min_gap=0.5)
+        lax = derive_guidance_rules(small_knowledge_base, min_gap=0.0)
+        assert len(strict) <= len(lax)
+
+    def test_guidance_report_rendering(self, small_knowledge_base):
+        rules = derive_guidance_rules(small_knowledge_base)
+        text = guidance_report(rules)
+        assert "DQ4DM" in text
+        assert guidance_report([]).startswith("No guidance rules")

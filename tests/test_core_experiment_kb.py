@@ -1,0 +1,211 @@
+"""Unit tests for user profiles, experiment plans/runner and the knowledge base."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ExperimentPlan, ExperimentRecord, ExperimentRunner, KnowledgeBase, UserProfile
+from repro.core.experiment import PHASE_CLEAN, PHASE_MIXED, PHASE_SIMPLE
+from repro.datasets import make_classification_dataset
+from repro.exceptions import ExperimentError, KnowledgeBaseError
+from repro.quality import measure_quality
+
+
+class TestUserProfile:
+    def test_defaults(self):
+        profile = UserProfile()
+        assert profile.technique_family == "classification"
+        assert "decision_tree" in profile.algorithms
+        assert profile.cv_folds >= 2
+
+    def test_family_specific_defaults(self):
+        assert UserProfile(technique_family="association_rules").algorithms == ("apriori",)
+        assert "kmeans" in UserProfile(technique_family="clustering").algorithms
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            UserProfile(technique_family="prophecy")
+        with pytest.raises(ExperimentError):
+            UserProfile(evaluation_metric="vibes")
+        with pytest.raises(ExperimentError):
+            UserProfile(cv_folds=1)
+
+    def test_with_algorithms(self):
+        restricted = UserProfile().with_algorithms(["knn"])
+        assert restricted.algorithms == ("knn",)
+        assert restricted.technique_family == "classification"
+
+    def test_as_dict(self):
+        payload = UserProfile(name="citizen").as_dict()
+        assert payload["name"] == "citizen"
+        assert isinstance(payload["algorithms"], list)
+
+
+class TestExperimentPlan:
+    def test_variant_enumeration(self):
+        plan = ExperimentPlan(criteria=("completeness", "accuracy"), simple_severities=(0.0, 0.2, 0.4))
+        simple = plan.simple_variants()
+        assert len(simple) == 4  # two criteria x two non-zero severities
+        assert all(len(v) == 1 for v in simple)
+        mixed = plan.mixed_variants()
+        assert len(mixed) == 1  # one unordered pair
+        assert all(len(v) == 2 for v in mixed)
+        assert plan.n_variants() == 1 + 4 + 1
+
+    def test_explicit_mixed_combinations(self):
+        plan = ExperimentPlan(
+            criteria=("completeness",),
+            mixed_combinations=({"completeness": 0.1, "accuracy": 0.3},),
+        )
+        assert plan.mixed_variants() == [{"completeness": 0.1, "accuracy": 0.3}]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentPlan(criteria=("nonsense",))
+        with pytest.raises(ExperimentError):
+            ExperimentPlan(simple_severities=(0.0, 2.0))
+
+
+class TestExperimentRecord:
+    def test_roundtrip(self):
+        record = ExperimentRecord(
+            dataset="d",
+            algorithm="knn",
+            phase=PHASE_SIMPLE,
+            injections={"completeness": 0.2},
+            quality_scores={"completeness": 0.8},
+            metrics={"accuracy": 0.9},
+            seed=4,
+        )
+        restored = ExperimentRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+        assert restored == record
+
+    def test_profile_distance(self, clean_classification):
+        profile = measure_quality(clean_classification, criteria=("completeness", "balance"))
+        record = ExperimentRecord(
+            dataset="d",
+            algorithm="knn",
+            phase=PHASE_SIMPLE,
+            injections={},
+            quality_scores={"completeness": 1.0, "balance": profile.score("balance")},
+            metrics={"accuracy": 0.9},
+        )
+        assert record.profile_distance(profile) == pytest.approx(0.0, abs=1e-9)
+        far_record = ExperimentRecord(
+            dataset="d", algorithm="knn", phase=PHASE_SIMPLE, injections={},
+            quality_scores={"completeness": 0.0, "balance": 0.0}, metrics={"accuracy": 0.5},
+        )
+        assert far_record.profile_distance(profile) > 1.0
+
+    def test_profile_distance_requires_shared_criteria(self, clean_classification):
+        profile = measure_quality(clean_classification, criteria=("completeness",))
+        record = ExperimentRecord(
+            dataset="d", algorithm="knn", phase=PHASE_SIMPLE, injections={},
+            quality_scores={"balance": 1.0}, metrics={"accuracy": 0.5},
+        )
+        with pytest.raises(ExperimentError):
+            record.profile_distance(profile)
+
+
+class TestExperimentRunner:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentRunner(UserProfile(algorithms=("quantum_forest",)))
+
+    def test_run_variant_produces_one_record_per_algorithm(self, clean_classification):
+        runner = ExperimentRunner(UserProfile(algorithms=("decision_tree", "naive_bayes"), cv_folds=3))
+        records = runner.run_variant(clean_classification, {"completeness": 0.2}, PHASE_SIMPLE, seed=1)
+        assert len(records) == 2
+        assert {r.algorithm for r in records} == {"decision_tree", "naive_bayes"}
+        assert all(r.injections == {"completeness": 0.2} for r in records)
+        assert all(0.0 <= r.metrics["accuracy"] <= 1.0 for r in records)
+        assert all(r.quality_scores["completeness"] < 1.0 for r in records)
+
+    def test_run_requires_datasets(self):
+        runner = ExperimentRunner(UserProfile(algorithms=("one_r",)))
+        with pytest.raises(ExperimentError):
+            runner.run([])
+
+    def test_full_run_record_count(self, small_knowledge_base):
+        # 4 algorithms x (1 clean + 3 criteria x 2 severities + 3 mixed pairs) = 4 x 10
+        assert len(small_knowledge_base) == 40
+        phases = {record.phase for record in small_knowledge_base}
+        assert phases == {PHASE_CLEAN, PHASE_SIMPLE, PHASE_MIXED}
+
+
+class TestKnowledgeBase:
+    def test_query_filters(self, small_knowledge_base):
+        knn_records = small_knowledge_base.query(algorithm="knn")
+        assert all(r.algorithm == "knn" for r in knn_records)
+        clean = small_knowledge_base.query(phase=PHASE_CLEAN)
+        assert all(not r.injections for r in clean)
+        completeness = small_knowledge_base.query(injected="completeness")
+        assert all("completeness" in r.injections for r in completeness)
+        predicate = small_knowledge_base.query(predicate=lambda r: r.metrics["accuracy"] > 0.99)
+        assert all(r.metrics["accuracy"] > 0.99 for r in predicate)
+
+    def test_algorithms_criteria_datasets(self, small_knowledge_base):
+        assert set(small_knowledge_base.algorithms()) == {"decision_tree", "naive_bayes", "knn", "one_r"}
+        assert "completeness" in small_knowledge_base.criteria()
+        assert len(small_knowledge_base.datasets()) == 1
+
+    def test_mean_metric(self, small_knowledge_base):
+        value = small_knowledge_base.mean_metric("naive_bayes")
+        assert 0.0 <= value <= 1.0
+        with pytest.raises(KnowledgeBaseError):
+            small_knowledge_base.mean_metric("nonexistent")
+
+    def test_sensitivity_table_monotone_decline(self, small_knowledge_base):
+        table = small_knowledge_base.sensitivity_table("completeness")
+        for algorithm, by_severity in table.items():
+            severities = sorted(by_severity)
+            assert severities == [0.2, 0.4]
+        with pytest.raises(KnowledgeBaseError):
+            small_knowledge_base.sensitivity_table("outliers")
+
+    def test_robustness_ranking(self, small_knowledge_base):
+        ranking = small_knowledge_base.robustness_ranking("completeness")
+        assert len(ranking) == 4
+        drops = [drop for _, drop in ranking]
+        assert drops == sorted(drops)
+
+    def test_nearest_records(self, small_knowledge_base, clean_classification):
+        profile = measure_quality(clean_classification, criteria=("completeness", "accuracy", "balance"))
+        nearest = small_knowledge_base.nearest_records(profile, k=5)
+        assert len(nearest) == 5
+        distances = [d for d, _ in nearest]
+        assert distances == sorted(distances)
+
+    def test_nearest_records_empty_kb(self, clean_classification):
+        profile = measure_quality(clean_classification, criteria=("completeness",))
+        with pytest.raises(KnowledgeBaseError):
+            KnowledgeBase().nearest_records(profile)
+
+    def test_json_roundtrip(self, small_knowledge_base, tmp_path):
+        path = tmp_path / "kb.json"
+        small_knowledge_base.to_json(path)
+        restored = KnowledgeBase.from_json(path)
+        assert len(restored) == len(small_knowledge_base)
+        assert restored.algorithms() == small_knowledge_base.algorithms()
+
+    def test_json_roundtrip_from_string(self, small_knowledge_base):
+        restored = KnowledgeBase.from_json(small_knowledge_base.to_json())
+        assert len(restored) == len(small_knowledge_base)
+
+    def test_sqlite_roundtrip(self, small_knowledge_base, tmp_path):
+        path = small_knowledge_base.to_sqlite(tmp_path / "kb.db")
+        restored = KnowledgeBase.from_sqlite(path)
+        assert len(restored) == len(small_knowledge_base)
+        assert restored.summary()["n_algorithms"] == 4
+
+    def test_sqlite_missing_file_rejected(self, tmp_path):
+        with pytest.raises(KnowledgeBaseError):
+            KnowledgeBase.from_sqlite(tmp_path / "nope.db")
+
+    def test_summary_and_empty_kb(self, small_knowledge_base):
+        summary = small_knowledge_base.summary()
+        assert summary["n_records"] == len(small_knowledge_base)
+        with pytest.raises(KnowledgeBaseError):
+            KnowledgeBase().summary()

@@ -1,0 +1,161 @@
+"""Unit tests for the controlled data-quality injectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.injection import (
+    ClassNoiseInjector,
+    CorrelatedAttributesInjector,
+    DuplicateInjector,
+    INJECTOR_REGISTRY,
+    ImbalanceInjector,
+    InconsistencyInjector,
+    IrrelevantAttributesInjector,
+    MissingValuesInjector,
+    NoiseInjector,
+    OutlierInjector,
+    apply_injections,
+    get_injector,
+)
+from repro.exceptions import ExperimentError
+from repro.tabular.dataset import ColumnType, Dataset
+from repro.tabular.stats import pearson
+
+
+class TestRegistry:
+    def test_injectors_match_quality_criteria_names(self):
+        assert {"completeness", "accuracy", "duplication", "balance", "correlation", "dimensionality", "outliers", "consistency"} <= set(INJECTOR_REGISTRY)
+
+    def test_get_injector(self):
+        assert isinstance(get_injector("completeness"), MissingValuesInjector)
+        with pytest.raises(ExperimentError):
+            get_injector("chaos")
+
+    def test_severity_validation(self, clean_classification):
+        for name in INJECTOR_REGISTRY:
+            with pytest.raises(ExperimentError):
+                get_injector(name).apply(clean_classification, 1.5)
+
+    def test_zero_severity_is_identity(self, clean_classification):
+        for name in INJECTOR_REGISTRY:
+            result = get_injector(name).apply(clean_classification, 0.0, seed=1)
+            assert result == clean_classification
+
+    def test_original_never_mutated(self, clean_classification):
+        reference = clean_classification.copy()
+        for name in INJECTOR_REGISTRY:
+            get_injector(name).apply(clean_classification, 0.5, seed=2)
+        assert clean_classification == reference
+
+    def test_reproducible_with_seed(self, clean_classification):
+        for name in INJECTOR_REGISTRY:
+            a = get_injector(name).apply(clean_classification, 0.4, seed=9)
+            b = get_injector(name).apply(clean_classification, 0.4, seed=9)
+            assert a == b, name
+
+
+class TestIndividualInjectors:
+    def test_missing_values_fraction(self, clean_classification):
+        degraded = MissingValuesInjector().apply(clean_classification, 0.3, seed=1)
+        total_cells = sum(clean_classification.n_rows for _ in clean_classification.feature_columns())
+        missing = sum(c.n_missing() for c in degraded.feature_columns())
+        assert missing / total_cells == pytest.approx(0.3, abs=0.07)
+        # target untouched
+        assert degraded["target"].n_missing() == 0
+
+    def test_missing_values_restricted_to_columns(self, clean_classification):
+        degraded = MissingValuesInjector(columns=["num_0"]).apply(clean_classification, 0.5, seed=2)
+        assert degraded["num_0"].n_missing() > 0
+        assert degraded["num_1"].n_missing() == 0
+
+    def test_noise_changes_values_not_count(self, clean_classification):
+        noisy = NoiseInjector().apply(clean_classification, 0.5, seed=3)
+        assert noisy.n_rows == clean_classification.n_rows
+        changed = sum(
+            1
+            for a, b in zip(clean_classification["num_0"].tolist(), noisy["num_0"].tolist())
+            if a != b
+        )
+        assert changed > 0
+
+    def test_class_noise_flips_labels(self, clean_classification):
+        flipped = ClassNoiseInjector().apply(clean_classification, 0.3, seed=4)
+        differences = sum(
+            1 for a, b in zip(clean_classification["target"].tolist(), flipped["target"].tolist()) if a != b
+        )
+        assert differences / clean_classification.n_rows == pytest.approx(0.3, abs=0.1)
+
+    def test_class_noise_requires_two_classes(self):
+        single = Dataset.from_dict({"x": [1.0, 2.0], "target": ["a", "a"]}).set_target("target")
+        with pytest.raises(ExperimentError):
+            ClassNoiseInjector().apply(single, 0.5)
+
+    def test_duplicates_extend_rows(self, clean_classification):
+        duplicated = DuplicateInjector().apply(clean_classification, 0.2, seed=5)
+        assert duplicated.n_rows == pytest.approx(clean_classification.n_rows * 1.2, abs=1)
+
+    def test_fuzzy_duplicates_are_not_exact(self, clean_classification):
+        fuzzy = DuplicateInjector(fuzzy=True).apply(clean_classification, 0.2, seed=6)
+        rows = [tuple(str(v) for v in row.values()) for row in fuzzy.iter_rows()]
+        assert len(set(rows)) > clean_classification.n_rows * 0.99
+
+    def test_imbalance_shrinks_minority(self, clean_classification):
+        skewed = ImbalanceInjector().apply(clean_classification, 0.8, seed=7)
+        counts = skewed["target"].value_counts()
+        assert max(counts.values()) / min(counts.values()) > 2.5
+        assert skewed.n_rows < clean_classification.n_rows
+
+    def test_imbalance_requires_two_classes(self):
+        single = Dataset.from_dict({"x": [1.0, 2.0], "target": ["a", "a"]}).set_target("target")
+        with pytest.raises(ExperimentError):
+            ImbalanceInjector().apply(single, 0.5)
+
+    def test_correlated_attributes_are_really_correlated(self, clean_classification):
+        correlated = CorrelatedAttributesInjector().apply(clean_classification, 1.0, seed=8)
+        added = [name for name in correlated.column_names if "redundant" in name]
+        assert added
+        first = added[0]
+        source = first.split("_redundant_")[0]
+        assert abs(pearson(correlated[source].values, correlated[first].values)) > 0.9
+
+    def test_correlated_requires_numeric_features(self, transactions_dataset):
+        with pytest.raises(ExperimentError):
+            CorrelatedAttributesInjector().apply(transactions_dataset, 0.5)
+
+    def test_irrelevant_attributes_added(self, clean_classification):
+        wide = IrrelevantAttributesInjector(max_added=20).apply(clean_classification, 1.0, seed=9)
+        assert wide.n_columns == clean_classification.n_columns + 20
+        assert any(name.startswith("irrelevant_cat_") for name in wide.column_names)
+        assert any(name.startswith("irrelevant_num_") for name in wide.column_names)
+
+    def test_outliers_added(self, clean_classification):
+        spiked = OutlierInjector(magnitude=10.0).apply(clean_classification, 1.0, seed=10)
+        original_max = max(abs(v) for v in clean_classification["num_0"].tolist())
+        spiked_max = max(abs(v) for v in spiked["num_0"].tolist())
+        assert spiked_max > original_max * 2
+
+    def test_inconsistency_corrupts_spellings(self, budget_dataset):
+        corrupted = InconsistencyInjector().apply(budget_dataset, 1.0, seed=11)
+        original_levels = set(budget_dataset["district"].distinct())
+        corrupted_levels = set(corrupted["district"].distinct())
+        assert len(corrupted_levels) > len(original_levels)
+
+
+class TestApplyInjections:
+    def test_multiple_injections_compose(self, clean_classification):
+        degraded = apply_injections(clean_classification, {"completeness": 0.2, "dimensionality": 0.5}, seed=1)
+        assert degraded.n_columns > clean_classification.n_columns
+        assert sum(c.n_missing() for c in degraded.columns) > 0
+
+    def test_deterministic_order(self, clean_classification):
+        a = apply_injections(clean_classification, {"completeness": 0.2, "accuracy": 0.2}, seed=3)
+        b = apply_injections(clean_classification, {"accuracy": 0.2, "completeness": 0.2}, seed=3)
+        assert a == b
+
+    def test_unknown_injector_rejected(self, clean_classification):
+        with pytest.raises(ExperimentError):
+            apply_injections(clean_classification, {"entropy_of_the_universe": 0.5})
+
+    def test_empty_mapping_is_identity(self, clean_classification):
+        assert apply_injections(clean_classification, {}) == clean_classification

@@ -1,0 +1,129 @@
+"""Unit tests for the synthetic and civic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    CIVIC_GENERATORS,
+    air_quality,
+    census_income,
+    civic_lod_graph,
+    make_classification_dataset,
+    make_clustered_dataset,
+    make_regression_dataset,
+    make_transactions_dataset,
+    municipal_budget,
+    service_requests,
+)
+from repro.datasets.civic import CIVIC
+from repro.exceptions import SchemaError
+from repro.lod.vocabulary import RDF
+from repro.mining import NaiveBayesClassifier, cross_validate
+from repro.quality import measure_quality
+from repro.tabular.dataset import ColumnRole
+
+
+class TestSyntheticGenerators:
+    def test_classification_shape_and_roles(self):
+        ds = make_classification_dataset(n_rows=100, n_numeric=3, n_categorical=2, n_classes=3, seed=1)
+        assert ds.n_rows == 100
+        assert len(ds.feature_columns()) == 5
+        assert ds.target_column().name == "target"
+        assert len(ds["target"].distinct()) == 3
+
+    def test_classification_is_clean(self):
+        ds = make_classification_dataset(n_rows=80, seed=2)
+        profile = measure_quality(ds, criteria=("completeness", "duplication", "balance"))
+        assert profile.score("completeness") == 1.0
+        assert profile.score("duplication") == 1.0
+        assert profile.score("balance") > 0.95
+
+    def test_classification_is_learnable(self):
+        ds = make_classification_dataset(n_rows=150, class_separation=2.5, seed=3)
+        assert cross_validate(NaiveBayesClassifier, ds, k=3).accuracy > 0.85
+
+    def test_classification_determinism(self):
+        assert make_classification_dataset(seed=5) == make_classification_dataset(seed=5)
+
+    def test_classification_validation(self):
+        with pytest.raises(SchemaError):
+            make_classification_dataset(n_rows=2, n_classes=4)
+        with pytest.raises(SchemaError):
+            make_classification_dataset(n_numeric=0, n_categorical=0)
+
+    def test_regression_dataset(self):
+        ds = make_regression_dataset(n_rows=100, seed=1)
+        assert ds.target_column().is_numeric()
+        with pytest.raises(SchemaError):
+            make_regression_dataset(n_numeric=1)
+
+    def test_clustered_dataset(self):
+        ds = make_clustered_dataset(n_rows=90, n_clusters=3, seed=1)
+        assert len(ds["cluster"].distinct()) == 3
+        assert ds["cluster"].role == ColumnRole.METADATA
+
+    def test_transactions_dataset_has_planted_pattern(self):
+        ds = make_transactions_dataset(n_rows=300, seed=1)
+        centre_library = ds.filter(lambda r: r["district"] == "centre" and r["service"] == "library")
+        high_share = centre_library["satisfaction"].value_counts().get("high", 0) / centre_library.n_rows
+        assert high_share > 0.7
+
+
+class TestCivicGenerators:
+    @pytest.mark.parametrize("name", sorted(CIVIC_GENERATORS))
+    def test_clean_variants_have_target_and_identifier(self, name):
+        ds = CIVIC_GENERATORS[name](n_rows=80, seed=1)
+        assert ds.has_target()
+        assert any(c.role == ColumnRole.IDENTIFIER for c in ds.columns)
+        assert ds.n_rows == 80
+
+    @pytest.mark.parametrize("name", sorted(CIVIC_GENERATORS))
+    def test_clean_variants_are_learnable(self, name):
+        ds = CIVIC_GENERATORS[name](n_rows=150, seed=2)
+        result = cross_validate(NaiveBayesClassifier, ds, k=3)
+        assert result.accuracy > 0.6, f"{name} should carry a learnable signal"
+
+    @pytest.mark.parametrize("name", sorted(CIVIC_GENERATORS))
+    def test_dirty_variants_have_lower_quality(self, name):
+        clean = CIVIC_GENERATORS[name](n_rows=100, seed=3)
+        dirty = CIVIC_GENERATORS[name](n_rows=100, seed=3, dirty=True)
+        clean_profile = measure_quality(clean, criteria=("completeness", "duplication"))
+        dirty_profile = measure_quality(dirty, criteria=("completeness", "duplication"))
+        assert dirty_profile.score("completeness") < clean_profile.score("completeness")
+        assert dirty_profile.score("duplication") < clean_profile.score("duplication")
+        assert dirty.n_rows > clean.n_rows  # appended duplicates
+
+    @pytest.mark.parametrize("name", sorted(CIVIC_GENERATORS))
+    def test_determinism(self, name):
+        assert CIVIC_GENERATORS[name](n_rows=60, seed=9) == CIVIC_GENERATORS[name](n_rows=60, seed=9)
+
+    def test_census_income_column_is_metadata(self):
+        ds = census_income(n_rows=60)
+        assert ds["income"].role == ColumnRole.METADATA
+        assert "income" not in ds.feature_names()
+
+
+class TestCivicLOD:
+    def test_graph_structure(self, air_quality_dataset):
+        graph = civic_lod_graph(air_quality_dataset, entity_class="AirQualityReading")
+        readings = graph.subjects_of_type(CIVIC.AirQualityReading)
+        assert len(readings) == air_quality_dataset.n_rows
+        # every reading carries its numeric measurements
+        sample = readings[0]
+        assert graph.value(sample, CIVIC["no2"]) is not None
+
+    def test_graph_skips_missing_cells(self):
+        dirty = air_quality(n_rows=60, seed=4, dirty=True)
+        graph = civic_lod_graph(dirty, entity_class="AirQualityReading")
+        # dirty data has missing cells and duplicated identifiers, so the graph
+        # has at most one resource per distinct identifier and no triples for
+        # the missing cells
+        n_readings = len(graph.subjects_of_type(CIVIC.AirQualityReading))
+        assert 0 < n_readings <= dirty.n_rows
+        property_triples = sum(1 for _ in graph.triples(None, CIVIC["no2"], None))
+        assert property_triples <= n_readings
+
+    def test_default_entity_class_name(self, budget_dataset):
+        graph = civic_lod_graph(budget_dataset)
+        assert graph.subjects_of_type(CIVIC["MunicipalBudget"])

@@ -1,0 +1,51 @@
+"""Smoke tests: the runnable examples execute end to end without errors."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Examples fast enough to execute fully inside the test suite.
+RUNNABLE = ["quickstart.py", "open_budget_analysis.py", "lod_publishing_roundtrip.py"]
+#: Heavier examples: only imported and checked for a main() entry point.
+IMPORT_ONLY = ["air_quality_advisor.py", "census_dimensionality_study.py"]
+
+
+def _load_module(filename: str):
+    path = EXAMPLES_DIR / filename
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert set(RUNNABLE) | set(IMPORT_ONLY) <= present
+    assert "quickstart.py" in present
+
+
+@pytest.mark.parametrize("filename", RUNNABLE)
+def test_example_runs_end_to_end(filename, capsys):
+    module = _load_module(filename)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output) > 200, f"{filename} should print a substantive report"
+
+
+@pytest.mark.parametrize("filename", IMPORT_ONLY)
+def test_heavy_example_importable(filename):
+    module = _load_module(filename)
+    assert callable(getattr(module, "main", None))
+
+
+def test_examples_have_docstrings():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        text = path.read_text(encoding="utf-8")
+        assert text.lstrip().startswith('"""'), f"{path.name} should start with a module docstring"

@@ -1,0 +1,137 @@
+"""Integration tests: the KDD pipeline (Figure 1) and the framework (Figure 2) end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bi import Cube, Dashboard, Dimension, KPI, Measure
+from repro.core import Advisor, ExperimentPlan, ExperimentRunner, UserProfile, apply_injections, derive_guidance_rules
+from repro.core.advisor import fixed_best_on_clean_baseline, random_choice_baseline
+from repro.datasets import air_quality, civic_lod_graph, municipal_budget, service_requests
+from repro.datasets.civic import CIVIC
+from repro.lod import EntityLinker, LinkRule, parse_ntriples, to_ntriples
+from repro.lod.publish import publish_quality_profile
+from repro.lod.tabulate import tabulate_entities
+from repro.lod.vocabulary import DQV
+from repro.metamodel import annotate_quality, model_from_lod, read_quality_annotations
+from repro.mining import CLASSIFIER_REGISTRY, Apriori, dataset_to_transactions, train_test_split
+from repro.quality import measure_quality
+from repro.tabular import read_csv, write_csv
+
+
+class TestKDDPipeline:
+    """Figure 1: data sources -> integration -> selection/mining -> evaluation -> knowledge."""
+
+    def test_csv_to_knowledge(self, tmp_path):
+        # (i) data sources published as CSV, integrated into a repository
+        source = service_requests(n_rows=150, seed=5, dirty=True)
+        path = write_csv(source, tmp_path / "requests.csv")
+        loaded = read_csv(path).set_target("resolved_late").set_role("request_id", "identifier")
+
+        # preprocessing: quality measurement guides attribute/algorithm selection
+        profile = measure_quality(loaded)
+        assert 0.0 < profile.overall() <= 1.0
+
+        # (ii) mining
+        train, test = train_test_split(loaded, seed=1)
+        model = CLASSIFIER_REGISTRY["decision_tree"]().fit(train)
+
+        # (iii) evaluation of the resulting patterns
+        accuracy = model.score(test)
+        rules = model.extract_rules()
+        assert accuracy > 0.5
+        assert rules and all(rule["coverage"] > 0 for rule in rules)
+
+    def test_lod_to_knowledge(self):
+        # LOD source -> common representation -> annotated quality -> mining-ready table
+        graph = civic_lod_graph(air_quality(n_rows=120, seed=1), entity_class="AirQualityReading")
+        table = tabulate_entities(graph, CIVIC.AirQualityReading)
+        table = table.set_target("alert")
+        profile = measure_quality(table)
+        catalog = model_from_lod(graph)
+        annotate_quality(catalog.find_table("AirQualityReading"), profile)
+        scores = read_quality_annotations(catalog.find_table("AirQualityReading"))
+        assert scores["completeness"] == pytest.approx(profile.score("completeness"))
+
+        train, test = train_test_split(table, seed=0)
+        model = CLASSIFIER_REGISTRY["naive_bayes"]().fit(train)
+        assert model.score(test) > 0.7
+
+
+class TestFrameworkEndToEnd:
+    """Figure 2: experiments -> DQ4DM knowledge base -> advice for a non-expert."""
+
+    def test_advisor_beats_random_on_degraded_sources(self, small_knowledge_base):
+        from repro.datasets import make_classification_dataset
+
+        advisor = Advisor(small_knowledge_base, k=5)
+        algorithms = small_knowledge_base.algorithms()
+        advisor_wins = 0
+        trials = 0
+        for seed, injections in enumerate(
+            [{"completeness": 0.4}, {"accuracy": 0.3}, {"balance": 0.7}, {"completeness": 0.3, "accuracy": 0.2}]
+        ):
+            unseen = make_classification_dataset(n_rows=120, n_numeric=3, n_categorical=1, seed=100 + seed)
+            dirty = apply_injections(unseen, injections, seed=seed)
+            recommendation = advisor.advise(dirty)
+            from repro.mining import cross_validate
+
+            actual = {
+                name: cross_validate(CLASSIFIER_REGISTRY[name], dirty, k=3).accuracy for name in algorithms
+            }
+            advised = actual[recommendation.best_algorithm]
+            random_pick = actual[random_choice_baseline(algorithms, seed=seed)]
+            trials += 1
+            if advised >= random_pick:
+                advisor_wins += 1
+        assert advisor_wins >= trials - 1, "advice should not lose to random choice more than once"
+
+    def test_guidance_rules_and_lod_sharing(self, small_knowledge_base, tmp_path):
+        rules = derive_guidance_rules(small_knowledge_base)
+        assert rules
+        # the knowledge base itself survives a persistence round trip
+        from repro.core import KnowledgeBase
+
+        restored = KnowledgeBase.from_json(small_knowledge_base.to_json(tmp_path / "kb.json"))
+        assert len(restored) == len(small_knowledge_base)
+
+        # quality measurements of an unseen source are shared as LOD and read back
+        dirty = municipal_budget(n_rows=80, seed=6, dirty=True)
+        profile = measure_quality(dirty)
+        graph = publish_quality_profile(profile, dirty.name)
+        roundtrip = parse_ntriples(to_ntriples(graph))
+        measurements = roundtrip.subjects_of_type(DQV.QualityMeasurement)
+        assert len(measurements) == len(profile.criteria())
+
+
+class TestOpenBIWorkflow:
+    """Reporting + OLAP + dashboards on integrated, linked open data."""
+
+    def test_linked_sources_to_dashboard(self, small_knowledge_base):
+        budget = municipal_budget(n_rows=120, seed=1)
+        requests = service_requests(n_rows=120, seed=2)
+        budget_graph = civic_lod_graph(budget, entity_class="BudgetLine")
+        requests_graph = civic_lod_graph(requests, entity_class="ServiceRequest")
+        linker = EntityLinker([LinkRule(CIVIC["district"], CIVIC["district"])], threshold=0.99)
+        links = linker.link(budget_graph, CIVIC.BudgetLine, requests_graph, CIVIC.ServiceRequest)
+        assert links
+
+        cube = Cube(
+            budget,
+            dimensions=[Dimension("district", ("district",)), Dimension("category", ("category",))],
+            measures=[Measure("total", "budgeted", "sum")],
+        )
+        transactions = dataset_to_transactions(budget.drop_columns(["line_id", "budgeted", "executed"]))
+        apriori = Apriori(min_support=0.05, min_confidence=0.6).fit(transactions)
+
+        dashboard = (
+            Dashboard("Integrated city view")
+            .add_kpi_panel("KPIs", [KPI("mean execution", "execution_rate", target=0.8)], budget)
+            .add_quality_panel("Budget quality", measure_quality(budget))
+            .add_cube_panel("Spending by district", cube, ["district"])
+            .add_recommendation_panel("Mining advice", Advisor(small_knowledge_base).advise(budget))
+        )
+        rendered = dashboard.render()
+        panel_headers = [line for line in rendered.splitlines() if line.startswith("## ")]
+        assert len(panel_headers) == 4
+        assert apriori.frequent_itemsets()

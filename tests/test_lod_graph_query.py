@@ -1,0 +1,151 @@
+"""Unit tests for the Graph wrapper and the SPARQL-like query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LODError
+from repro.lod.graph import Graph
+from repro.lod.query import TriplePattern, Variable, ask, count, select
+from repro.lod.terms import IRI, Literal
+from repro.lod.vocabulary import Namespace, RDF, RDFS
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph("http://example.org/graph/test")
+    g.bind("ex", EX)
+    g.add_resource(EX["alicante"], rdf_type=EX.City, label="Alicante",
+                   properties={EX.population: 330000, EX.province: Literal("Alicante")})
+    g.add_resource(EX["elche"], rdf_type=EX.City, label="Elche",
+                   properties={EX.population: 230000, EX.province: Literal("Alicante")})
+    g.add_resource(EX["matanzas"], rdf_type=EX.City, label="Matanzas",
+                   properties={EX.population: 145000, EX.province: Literal("Matanzas")})
+    g.add_resource(EX["valencia_region"], rdf_type=EX.Region, label="Valencian Community")
+    return g
+
+
+class TestGraph:
+    def test_add_and_len(self, graph):
+        assert len(graph) == 14
+
+    def test_add_resource_with_list_values(self):
+        g = Graph()
+        g.add_resource(EX["x"], properties={EX.tag: ["a", "b"]})
+        assert len(g) == 2
+
+    def test_subjects_of_type(self, graph):
+        assert len(graph.subjects_of_type(EX.City)) == 3
+        assert len(graph.subjects_of_type(EX.Region)) == 1
+
+    def test_value_unwraps_literals(self, graph):
+        assert graph.value(EX["alicante"], EX.population) == 330000
+        assert graph.value(EX["alicante"], EX.mayor, default="unknown") == "unknown"
+
+    def test_label(self, graph):
+        assert graph.label(EX["elche"]) == "Elche"
+        assert graph.label(EX["nowhere"]) is None
+
+    def test_properties_of(self, graph):
+        properties = graph.properties_of(EX["alicante"])
+        assert EX.population in properties and RDF.type in properties
+
+    def test_types_histogram(self, graph):
+        histogram = graph.types()
+        assert histogram[EX.City] == 3
+        assert histogram[EX.Region] == 1
+
+    def test_predicates_histogram(self, graph):
+        histogram = graph.predicates_histogram()
+        assert histogram[EX.population] == 3
+
+    def test_merge_and_copy(self, graph):
+        other = Graph("http://example.org/graph/other")
+        other.add_resource(EX["murcia"], rdf_type=EX.City, label="Murcia")
+        merged = graph.copy()
+        added = merged.merge(other)
+        assert added == 2
+        assert len(merged) == len(graph) + 2
+        # copy independence
+        assert len(graph.subjects_of_type(EX.City)) == 3
+
+    def test_remove(self, graph):
+        triple = next(graph.triples(EX["alicante"], EX.population, None))
+        assert graph.remove(triple)
+        assert graph.value(EX["alicante"], EX.population) is None
+
+    def test_new_bnode_unique(self, graph):
+        assert graph.new_bnode() != graph.new_bnode()
+
+
+class TestQuery:
+    def test_simple_select(self, graph):
+        results = select(graph, [TriplePattern(Variable("s"), RDF.type, EX.City)])
+        assert len(results) == 3
+
+    def test_join_across_patterns(self, graph):
+        results = select(
+            graph,
+            [
+                TriplePattern(Variable("s"), RDF.type, EX.City),
+                TriplePattern(Variable("s"), EX.province, Literal("Alicante")),
+            ],
+        )
+        assert len(results) == 2
+
+    def test_projection_and_distinct(self, graph):
+        results = select(
+            graph,
+            [TriplePattern(Variable("s"), EX.province, Variable("p"))],
+            variables=["p"],
+            distinct=True,
+        )
+        assert len(results) == 2
+
+    def test_projection_of_unbound_variable_rejected(self, graph):
+        with pytest.raises(LODError):
+            select(graph, [TriplePattern(Variable("s"), RDF.type, EX.City)], variables=["ghost"])
+
+    def test_filter_where(self, graph):
+        results = select(
+            graph,
+            [TriplePattern(Variable("s"), EX.population, Variable("pop"))],
+            where=lambda binding: binding["pop"].python_value() > 200000,
+        )
+        assert len(results) == 2
+
+    def test_order_by_and_limit(self, graph):
+        results = select(
+            graph,
+            [TriplePattern(Variable("s"), EX.population, Variable("pop"))],
+            order_by="pop",
+            descending=True,
+            limit=1,
+        )
+        assert results[0]["s"] == EX["alicante"]
+
+    def test_empty_patterns_rejected(self, graph):
+        with pytest.raises(LODError):
+            select(graph, [])
+
+    def test_variable_predicate(self, graph):
+        results = select(
+            graph,
+            [TriplePattern(EX["matanzas"], Variable("p"), Variable("o"))],
+        )
+        assert len(results) == 4  # rdf:type, rdfs:label, population, province
+
+    def test_ask(self, graph):
+        assert ask(graph, [TriplePattern(EX["alicante"], RDF.type, EX.City)])
+        assert not ask(graph, [TriplePattern(EX["alicante"], RDF.type, EX.Region)])
+
+    def test_count_and_distinct_count(self, graph):
+        patterns = [TriplePattern(Variable("s"), EX.province, Variable("p"))]
+        assert count(graph, patterns) == 3
+        assert count(graph, patterns, distinct_variable="p") == 2
+
+    def test_no_solutions(self, graph):
+        results = select(graph, [TriplePattern(Variable("s"), EX.mayor, Variable("m"))])
+        assert results == []

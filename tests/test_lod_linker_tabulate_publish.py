@@ -1,0 +1,162 @@
+"""Unit tests for entity linking, LOD tabulation and publishing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LODError
+from repro.lod.graph import Graph
+from repro.lod.linker import EntityLinker, LinkRule, jaccard_similarity, levenshtein, normalise_string, string_similarity
+from repro.lod.publish import publish_dataset, publish_patterns, publish_quality_profile, publish_recommendation
+from repro.lod.tabulate import dimensionality_report, tabulate_entities
+from repro.lod.terms import IRI, Literal
+from repro.lod.vocabulary import DQV, Namespace, OPENBI, OWL, QB, RDF
+from repro.quality import measure_quality
+
+EX = Namespace("http://example.org/")
+
+
+def _city_graph(suffix: str, names: list[str]) -> Graph:
+    graph = Graph(f"http://example.org/graph/{suffix}")
+    for i, name in enumerate(names):
+        subject = EX[f"{suffix}/city{i}"]
+        graph.add_resource(subject, rdf_type=EX.City, properties={EX.cityName: Literal(name), EX.rank: Literal(i)})
+    return graph
+
+
+class TestStringSimilarity:
+    def test_normalise_string(self):
+        assert normalise_string("  Alicante / Alacant ") == "alicante alacant"
+        assert normalise_string("MÁLAGA") == "malaga"
+
+    def test_levenshtein(self):
+        assert levenshtein("abc", "abc") == 0
+        assert levenshtein("abc", "abd") == 1
+        assert levenshtein("", "xyz") == 3
+
+    def test_jaccard(self):
+        assert jaccard_similarity("city of alicante", "alicante city") == pytest.approx(2 / 3)
+        assert jaccard_similarity("", "") == 1.0
+
+    def test_string_similarity_bounds(self):
+        assert string_similarity("Alicante", "alicante") == 1.0
+        assert 0.0 <= string_similarity("Alicante", "Barcelona") < 0.7
+
+
+class TestEntityLinker:
+    def test_links_matching_names(self):
+        left = _city_graph("a", ["Alicante", "Elche", "Torrevieja"])
+        right = _city_graph("b", ["ALICANTE", "Elche ", "Orihuela"])
+        linker = EntityLinker([LinkRule(EX.cityName, EX.cityName)], threshold=0.95)
+        links = linker.link(left, EX.City, right, EX.City)
+        assert len(links) == 2
+        assert all(link.score >= 0.95 for link in links)
+
+    def test_materialise_adds_same_as(self):
+        left = _city_graph("a", ["Alicante"])
+        right = _city_graph("b", ["Alicante"])
+        linker = EntityLinker([LinkRule(EX.cityName, EX.cityName)])
+        links = linker.link(left, EX.City, right, EX.City)
+        merged = left.copy()
+        merged.merge(right)
+        added = linker.materialise(merged, links)
+        assert added == len(links) == 1
+        assert next(merged.triples(None, OWL.sameAs, None), None) is not None
+
+    def test_requires_rules_and_valid_threshold(self):
+        with pytest.raises(LODError):
+            EntityLinker([])
+        with pytest.raises(LODError):
+            EntityLinker([LinkRule(EX.cityName, EX.cityName)], threshold=0.0)
+
+    def test_score_pair_missing_property_is_zero(self):
+        left = _city_graph("a", ["Alicante"])
+        right = Graph()
+        right.add_resource(EX["b/city0"], rdf_type=EX.City)
+        linker = EntityLinker([LinkRule(EX.cityName, EX.cityName)])
+        assert linker.score_pair(left, EX["a/city0"], right, EX["b/city0"]) == 0.0
+
+
+class TestTabulate:
+    def test_basic_pivot(self, civic_graph):
+        from repro.datasets.civic import CIVIC
+
+        dataset = tabulate_entities(civic_graph, CIVIC.AirQualityReading)
+        assert dataset.n_rows == 120
+        assert "subject" in dataset.column_names
+        assert "no2" in dataset.column_names
+
+    def test_unknown_class_rejected(self, civic_graph):
+        with pytest.raises(LODError):
+            tabulate_entities(civic_graph, EX.Nothing)
+
+    def test_multivalued_count_policy(self):
+        graph = Graph()
+        graph.add_resource(EX["e1"], rdf_type=EX.Entity, properties={EX.tag: ["a", "b", "c"]})
+        graph.add_resource(EX["e2"], rdf_type=EX.Entity, properties={EX.tag: ["a"]})
+        counted = tabulate_entities(graph, EX.Entity, multivalued="count")
+        assert sorted(counted["tag"].tolist()) == [1.0, 3.0]
+
+    def test_invalid_multivalued_policy(self, civic_graph):
+        from repro.datasets.civic import CIVIC
+
+        with pytest.raises(LODError):
+            tabulate_entities(civic_graph, CIVIC.AirQualityReading, multivalued="all")
+
+    def test_same_as_merging(self):
+        graph = Graph()
+        graph.add_resource(EX["e1"], rdf_type=EX.Entity, properties={EX.name: Literal("one")})
+        graph.add_resource(EX["e1b"], properties={EX.extra: Literal(9)})
+        graph.add(EX["e1"], OWL.sameAs, EX["e1b"])
+        merged = tabulate_entities(graph, EX.Entity, follow_same_as=True)
+        assert merged["extra"][0] == 9
+        unmerged = tabulate_entities(graph, EX.Entity, follow_same_as=False)
+        assert "extra" not in unmerged.column_names
+
+    def test_min_property_coverage_drops_rare_columns(self):
+        graph = Graph()
+        for i in range(10):
+            properties = {EX.always: Literal(i)}
+            if i == 0:
+                properties[EX.rare] = Literal("x")
+            graph.add_resource(EX[f"e{i}"], rdf_type=EX.Entity, properties=properties)
+        dataset = tabulate_entities(graph, EX.Entity, min_property_coverage=0.5)
+        assert "always" in dataset.column_names
+        assert "rare" not in dataset.column_names
+
+    def test_dimensionality_report(self, civic_graph):
+        from repro.datasets.civic import CIVIC
+
+        report = dimensionality_report(civic_graph, CIVIC.AirQualityReading)
+        assert report["n_entities"] == 120
+        assert 0.0 <= report["sparsity"] <= 1.0
+
+
+class TestPublish:
+    def test_publish_dataset_as_data_cube(self, tiny_dataset):
+        graph = publish_dataset(tiny_dataset)
+        observations = graph.subjects_of_type(QB.Observation)
+        assert len(observations) == tiny_dataset.n_rows
+        assert len(graph.subjects_of_type(QB.ComponentProperty)) == tiny_dataset.n_columns
+
+    def test_publish_quality_profile(self, tiny_dataset):
+        profile = measure_quality(tiny_dataset)
+        graph = publish_quality_profile(profile, tiny_dataset.name)
+        measurements = graph.subjects_of_type(DQV.QualityMeasurement)
+        assert len(measurements) == len(profile.criteria())
+
+    def test_publish_quality_profile_accepts_plain_dict(self):
+        graph = publish_quality_profile({"completeness": 0.9}, "plain")
+        assert len(graph.subjects_of_type(DQV.QualityMeasurement)) == 1
+
+    def test_publish_patterns(self):
+        patterns = [{"antecedent": "a", "consequent": "b", "support": 0.2, "confidence": 0.9}]
+        graph = publish_patterns(patterns, "demo", "apriori")
+        assert len(graph.subjects_of_type(OPENBI.Pattern)) == 1
+        assert len(graph.subjects_of_type(OPENBI.Algorithm)) == 1
+
+    def test_publish_recommendation(self):
+        graph = publish_recommendation("demo", "naive_bayes", 0.91, "because quality is low")
+        recommendations = graph.subjects_of_type(OPENBI.Recommendation)
+        assert len(recommendations) == 1
+        assert graph.value(recommendations[0], OPENBI.expectedScore) == pytest.approx(0.91)

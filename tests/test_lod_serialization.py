@@ -1,0 +1,94 @@
+"""Unit tests for N-Triples / Turtle serialisation and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LODError
+from repro.lod.graph import Graph
+from repro.lod.serialization import parse_ntriples, to_ntriples, to_turtle
+from repro.lod.terms import BNode, IRI, Literal, Triple
+from repro.lod.vocabulary import Namespace, RDF, XSD
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.bind("ex", EX)
+    g.add(EX["a"], RDF.type, EX.Thing)
+    g.add(EX["a"], EX.count, Literal(42))
+    g.add(EX["a"], EX.ratio, Literal(0.5))
+    g.add(EX["a"], EX.flag, Literal(True))
+    g.add(EX["a"], EX.name, Literal('needs "escaping"\nnewline'))
+    g.add(EX["a"], EX.comment, Literal("hola", language="es"))
+    g.add_triple(Triple(BNode("node1"), EX.linkedTo, EX["a"]))
+    return g
+
+
+class TestNTriples:
+    def test_roundtrip_preserves_every_triple(self, graph):
+        text = to_ntriples(graph)
+        parsed = parse_ntriples(text)
+        assert len(parsed) == len(graph)
+        # typed literals keep their python values
+        assert parsed.value(EX["a"], EX.count) == 42
+        assert parsed.value(EX["a"], EX.ratio) == pytest.approx(0.5)
+        assert parsed.value(EX["a"], EX.flag) is True
+
+    def test_roundtrip_preserves_escapes_and_language(self, graph):
+        parsed = parse_ntriples(to_ntriples(graph))
+        assert parsed.value(EX["a"], EX.name) == 'needs "escaping"\nnewline'
+        comment = next(parsed.triples(EX["a"], EX.comment, None)).object
+        assert comment.language == "es"
+
+    def test_output_is_sorted_and_stable(self, graph):
+        assert to_ntriples(graph) == to_ntriples(graph)
+        lines = to_ntriples(graph).strip().splitlines()
+        assert lines == sorted(lines)
+
+    def test_file_roundtrip(self, tmp_path, graph):
+        path = tmp_path / "graph.nt"
+        to_ntriples(graph, path)
+        parsed = parse_ntriples(path)
+        assert len(parsed) == len(graph)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\n<http://example.org/a> <http://example.org/p> \"x\" .\n"
+        assert len(parse_ntriples(text)) == 1
+
+    def test_invalid_line_rejected(self):
+        with pytest.raises(LODError):
+            parse_ntriples("this is not a triple .")
+
+    def test_bnode_roundtrip(self, graph):
+        parsed = parse_ntriples(to_ntriples(graph))
+        assert any(isinstance(t.subject, BNode) for t in parsed)
+
+
+class TestTurtle:
+    def test_prefixes_only_emitted_when_used(self, graph):
+        turtle = to_turtle(graph)
+        assert "@prefix ex:" in turtle
+        assert "@prefix dqv:" not in turtle
+
+    def test_subject_grouping(self, graph):
+        turtle = to_turtle(graph)
+        # the subject ex:a appears exactly once as a subject block
+        assert turtle.count("ex:a\n") == 1
+
+    def test_typed_literals_use_xsd_qnames(self, graph):
+        turtle = to_turtle(graph)
+        assert "^^xsd:integer" in turtle
+        assert "^^xsd:double" in turtle
+        assert "^^xsd:boolean" in turtle
+
+    def test_file_output(self, tmp_path, graph):
+        path = tmp_path / "graph.ttl"
+        text = to_turtle(graph, path)
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_empty_graph(self):
+        assert to_turtle(Graph()) == ""
+        assert to_ntriples(Graph()) == ""

@@ -1,0 +1,136 @@
+"""Unit tests for RDF terms and the indexed triple store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LODError
+from repro.lod.terms import BNode, IRI, Literal, Triple, coerce_object
+from repro.lod.triples import TripleStore
+from repro.lod.vocabulary import Namespace, RDF, XSD
+
+EX = Namespace("http://example.org/")
+
+
+class TestTerms:
+    def test_iri_requires_absolute_form(self):
+        with pytest.raises(LODError):
+            IRI("not an iri")
+        with pytest.raises(LODError):
+            IRI("")
+
+    def test_iri_local_name(self):
+        assert IRI("http://example.org/thing#part").local_name() == "part"
+        assert IRI("http://example.org/path/leaf").local_name() == "leaf"
+        assert IRI("urn:isbn:12345").local_name() == "12345"
+
+    def test_iri_n3(self):
+        assert IRI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_bnode_validation(self):
+        assert str(BNode("b1")) == "_:b1"
+        with pytest.raises(LODError):
+            BNode("has space")
+
+    def test_literal_lexical_forms(self):
+        assert Literal("text").lexical == "text"
+        assert Literal(True).lexical == "true"
+        assert Literal(3.5).lexical == "3.5"
+
+    def test_literal_language_and_datatype_exclusive(self):
+        with pytest.raises(LODError):
+            Literal("hola", datatype=XSD.string, language="es")
+
+    def test_literal_n3_escaping(self):
+        literal = Literal('say "hi"\nplease')
+        rendered = literal.n3()
+        assert '\\"' in rendered and "\\n" in rendered
+
+    def test_literal_n3_with_language_and_datatype(self):
+        assert Literal("hola", language="es").n3() == '"hola"@es'
+        assert Literal(3, datatype=XSD.integer).n3().endswith(XSD.integer.n3())
+
+    def test_triple_validation(self):
+        subject, predicate = EX["s"], EX["p"]
+        Triple(subject, predicate, Literal(1))
+        with pytest.raises(LODError):
+            Triple(Literal("x"), predicate, Literal(1))
+        with pytest.raises(LODError):
+            Triple(subject, BNode("b"), Literal(1))
+        with pytest.raises(LODError):
+            Triple(subject, predicate, "raw string")
+
+    def test_coerce_object(self):
+        assert isinstance(coerce_object("http://example.org/x"), IRI)
+        assert isinstance(coerce_object("just text"), Literal)
+        assert isinstance(coerce_object(4.2), Literal)
+        iri = EX["keep"]
+        assert coerce_object(iri) is iri
+
+
+class TestNamespace:
+    def test_term_access(self):
+        assert EX.thing == IRI("http://example.org/thing")
+        assert EX["other"] == IRI("http://example.org/other")
+
+    def test_containment(self):
+        assert EX.thing in EX
+        assert IRI("http://elsewhere.org/x") not in EX
+
+
+class TestTripleStore:
+    @pytest.fixture
+    def store(self):
+        store = TripleStore()
+        store.add(Triple(EX["a"], RDF.type, EX.City))
+        store.add(Triple(EX["b"], RDF.type, EX.City))
+        store.add(Triple(EX["a"], EX.population, Literal(1000)))
+        store.add(Triple(EX["a"], EX.name, Literal("Alpha")))
+        return store
+
+    def test_add_is_idempotent(self, store):
+        assert len(store) == 4
+        assert not store.add(Triple(EX["a"], RDF.type, EX.City))
+        assert len(store) == 4
+
+    def test_contains_and_iter(self, store):
+        assert Triple(EX["a"], EX.population, Literal(1000)) in store
+        assert len(list(store)) == len(store)
+
+    def test_match_by_subject(self, store):
+        assert len(list(store.match(subject=EX["a"]))) == 3
+
+    def test_match_by_predicate(self, store):
+        assert len(list(store.match(predicate=RDF.type))) == 2
+
+    def test_match_by_object(self, store):
+        assert len(list(store.match(object=EX.City))) == 2
+
+    def test_match_fully_bound(self, store):
+        assert len(list(store.match(EX["a"], RDF.type, EX.City))) == 1
+        assert list(store.match(EX["a"], RDF.type, EX.Country)) == []
+
+    def test_subjects_predicates_objects(self, store):
+        assert set(store.subjects(RDF.type, EX.City)) == {EX["a"], EX["b"]}
+        assert RDF.type in store.predicates(EX["a"])
+        assert Literal(1000) in store.objects(EX["a"], EX.population)
+
+    def test_value_shortcut(self, store):
+        assert store.value(EX["a"], EX.population) == Literal(1000)
+        assert store.value(EX["b"], EX.population, default="none") == "none"
+
+    def test_discard(self, store):
+        assert store.discard(Triple(EX["a"], EX.population, Literal(1000)))
+        assert len(store) == 3
+        assert not store.discard(Triple(EX["a"], EX.population, Literal(1000)))
+        # index cleanup: matching by the removed predicate finds nothing for a
+        assert list(store.match(EX["a"], EX.population, None)) == []
+
+    def test_update_and_copy(self, store):
+        clone = store.copy()
+        clone.add(Triple(EX["c"], RDF.type, EX.City))
+        assert len(clone) == len(store) + 1
+
+    def test_add_rejects_non_triple(self, store):
+        with pytest.raises(LODError):
+            store.add(("s", "p", "o"))

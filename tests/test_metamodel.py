@@ -1,0 +1,200 @@
+"""Unit tests for the CWM-like metamodel: elements, builders, annotations, serialisation, diff."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.metamodel import (
+    Catalog,
+    DataType,
+    Key,
+    ModelColumn,
+    ModelDiff,
+    QUALITY_ANNOTATION_PREFIX,
+    Schema,
+    Table,
+    annotate_quality,
+    diff_models,
+    model_from_dataset,
+    model_from_lod,
+    model_from_dict,
+    model_to_dict,
+    model_to_xmi,
+    read_quality_annotations,
+)
+from repro.metamodel.annotations import annotate_catalog, read_quality_profile
+from repro.quality import measure_quality
+
+
+class TestElements:
+    def test_element_requires_name(self):
+        with pytest.raises(SchemaError):
+            Table("")
+
+    def test_annotations(self):
+        table = Table("t")
+        table.annotate("dq:completeness", 0.9)
+        table.annotate("note", "x")
+        assert table.annotation("dq:completeness") == 0.9
+        assert table.annotation("missing", "default") == "default"
+        assert table.annotations_with_prefix("dq:") == {"dq:completeness": 0.9}
+
+    def test_table_columns(self):
+        table = Table("t")
+        table.add_column(ModelColumn("a", "numeric"))
+        assert table.has_column("a")
+        assert table.column("a").datatype.name == "numeric"
+        with pytest.raises(SchemaError):
+            table.add_column(ModelColumn("a", "numeric"))
+        with pytest.raises(SchemaError):
+            table.column("ghost")
+
+    def test_keys_validate_columns(self):
+        table = Table("t")
+        table.add_column(ModelColumn("id", "string"))
+        table.add_key(Key("pk", ["id"]))
+        assert table.primary_key().name == "pk"
+        with pytest.raises(SchemaError):
+            table.add_key(Key("bad", ["ghost"]))
+        with pytest.raises(SchemaError):
+            Key("empty", [])
+
+    def test_schema_and_catalog_navigation(self):
+        catalog = Catalog("openbi")
+        schema = catalog.add_schema(Schema("sources"))
+        table = schema.add_table(Table("budget"))
+        assert catalog.schema("sources") is schema
+        assert catalog.find_table("budget") is table
+        assert catalog.find_table("ghost") is None
+        assert catalog.all_tables() == [table]
+        with pytest.raises(SchemaError):
+            catalog.add_schema(Schema("sources"))
+        with pytest.raises(SchemaError):
+            schema.add_table(Table("budget"))
+        with pytest.raises(SchemaError):
+            catalog.schema("ghost")
+        with pytest.raises(SchemaError):
+            schema.table("ghost")
+
+
+class TestBuilders:
+    def test_model_from_dataset(self, budget_dataset):
+        catalog = model_from_dataset(budget_dataset)
+        table = catalog.find_table("municipal_budget")
+        assert table is not None
+        assert set(table.column_names) == set(budget_dataset.column_names)
+        assert table.annotation("n_rows") == budget_dataset.n_rows
+        assert table.primary_key().column_names == ["line_id"]
+        assert table.column("budgeted").datatype.name == "numeric"
+
+    def test_model_from_lod(self, civic_graph):
+        catalog = model_from_lod(civic_graph)
+        table = catalog.find_table("AirQualityReading")
+        assert table is not None
+        assert table.annotation("n_rows") == 120
+        column = table.column("no2")
+        assert column.datatype.name == "numeric"
+        assert column.annotation("coverage") == pytest.approx(1.0)
+
+    def test_model_from_lod_requires_typed_instances(self):
+        from repro.lod.graph import Graph
+
+        with pytest.raises(ValueError):
+            model_from_lod(Graph())
+
+
+class TestAnnotations:
+    def test_annotate_and_read(self, budget_dataset):
+        catalog = model_from_dataset(budget_dataset)
+        table = catalog.find_table("municipal_budget")
+        profile = measure_quality(budget_dataset)
+        annotate_quality(table, profile)
+        scores = read_quality_annotations(table)
+        assert scores["completeness"] == pytest.approx(profile.score("completeness"))
+        assert "overall" in scores
+        # per-column annotations landed on columns
+        assert table.column("budgeted").annotation(f"{QUALITY_ANNOTATION_PREFIX}completeness") == 1.0
+
+    def test_read_profile_roundtrip(self, budget_dataset):
+        catalog = model_from_dataset(budget_dataset)
+        table = catalog.find_table("municipal_budget")
+        profile = measure_quality(budget_dataset)
+        annotate_quality(table, profile)
+        restored = read_quality_profile(table)
+        assert restored.as_dict() == pytest.approx(profile.as_dict())
+
+    def test_read_without_annotations_rejected(self):
+        with pytest.raises(SchemaError):
+            read_quality_annotations(Table("bare"))
+        with pytest.raises(SchemaError):
+            read_quality_profile(Table("bare"))
+
+    def test_annotate_catalog(self, budget_dataset, air_quality_dataset):
+        catalog = Catalog("c")
+        schema = catalog.add_schema(Schema("s"))
+        schema.add_table(model_from_dataset(budget_dataset).find_table("municipal_budget"))
+        schema.add_table(model_from_dataset(air_quality_dataset).find_table("air_quality"))
+        profiles = {"municipal_budget": measure_quality(budget_dataset)}
+        annotate_catalog(catalog, profiles)
+        assert read_quality_annotations(catalog.find_table("municipal_budget"))
+        with pytest.raises(SchemaError):
+            read_quality_annotations(catalog.find_table("air_quality"))
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, budget_dataset):
+        catalog = model_from_dataset(budget_dataset)
+        annotate_quality(catalog.find_table("municipal_budget"), measure_quality(budget_dataset))
+        payload = json.loads(json.dumps(model_to_dict(catalog)))
+        restored = model_from_dict(payload)
+        table = restored.find_table("municipal_budget")
+        assert table is not None
+        assert set(table.column_names) == set(budget_dataset.column_names)
+        assert read_quality_annotations(table)
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SchemaError):
+            model_from_dict({})
+
+    def test_xmi_output(self, budget_dataset):
+        catalog = model_from_dataset(budget_dataset)
+        xmi = model_to_xmi(catalog)
+        assert xmi.startswith("<XMI")
+        assert "CWM.Table" in xmi and "CWM.Column" in xmi
+        assert 'name="municipal_budget"' in xmi
+
+
+class TestDiff:
+    def test_identical_models(self, budget_dataset):
+        a = model_from_dataset(budget_dataset)
+        b = model_from_dataset(budget_dataset)
+        diff = diff_models(a, b)
+        assert diff.is_empty()
+        assert "identical" in diff.summary()
+
+    def test_added_and_removed_columns(self, budget_dataset):
+        old = model_from_dataset(budget_dataset)
+        new = model_from_dataset(budget_dataset.drop_columns(["executed"]).add_column(
+            budget_dataset["budgeted"].copy().with_values(budget_dataset["budgeted"].tolist())
+        ) if False else budget_dataset.drop_columns(["executed"]))
+        diff = diff_models(old, new)
+        assert diff.removed_columns == {"municipal_budget": ["executed"]}
+        assert not diff.is_empty()
+
+    def test_added_table_and_retyped_column(self, budget_dataset, air_quality_dataset):
+        old = model_from_dataset(budget_dataset)
+        new_catalog = model_from_dataset(budget_dataset)
+        new_catalog.schema("sources").add_table(
+            model_from_dataset(air_quality_dataset).find_table("air_quality")
+        )
+        new_catalog.find_table("municipal_budget").column("year").datatype = DataType("numeric")
+        diff = diff_models(old, new_catalog)
+        assert diff.added_tables == ["air_quality"]
+        assert diff.retyped_columns["municipal_budget"][0][0] == "year"
+        assert "retyped" in diff.summary()
+
+    def test_model_diff_dataclass_defaults(self):
+        assert ModelDiff().is_empty()

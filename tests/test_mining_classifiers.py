@@ -1,0 +1,229 @@
+"""Unit tests shared across all classifiers plus algorithm-specific behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.injection import MissingValuesInjector
+from repro.datasets import make_classification_dataset
+from repro.exceptions import MiningError
+from repro.mining import (
+    CLASSIFIER_REGISTRY,
+    DecisionTreeClassifier,
+    KNNClassifier,
+    LogisticRegressionClassifier,
+    NaiveBayesClassifier,
+    OneRClassifier,
+    PrismClassifier,
+    train_test_split,
+)
+from repro.tabular.dataset import Column, ColumnType, Dataset
+
+ALL_CLASSIFIERS = sorted(CLASSIFIER_REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def train_test():
+    dataset = make_classification_dataset(n_rows=160, n_numeric=3, n_categorical=1, seed=11)
+    return train_test_split(dataset, test_fraction=0.3, seed=1)
+
+
+@pytest.mark.parametrize("name", ALL_CLASSIFIERS)
+class TestAllClassifiers:
+    def test_learns_separable_data(self, name, train_test):
+        train, test = train_test
+        model = CLASSIFIER_REGISTRY[name]().fit(train)
+        assert model.score(test) > 0.7
+
+    def test_predict_before_fit_rejected(self, name, train_test):
+        _, test = train_test
+        with pytest.raises(MiningError):
+            CLASSIFIER_REGISTRY[name]().predict(test)
+
+    def test_predictions_are_known_classes(self, name, train_test):
+        train, test = train_test
+        model = CLASSIFIER_REGISTRY[name]().fit(train)
+        predictions = model.predict(test)
+        assert len(predictions) == test.n_rows
+        assert set(str(p) for p in predictions) <= set(model.classes_)
+
+    def test_predict_proba_normalised(self, name, train_test):
+        train, test = train_test
+        model = CLASSIFIER_REGISTRY[name]().fit(train)
+        for distribution in model.predict_proba(test.head(10)):
+            assert set(distribution) == set(model.classes_)
+            assert sum(distribution.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_tolerates_missing_values_at_predict_time(self, name, train_test):
+        train, test = train_test
+        holed = MissingValuesInjector().apply(test, 0.3, seed=2)
+        model = CLASSIFIER_REGISTRY[name]().fit(train)
+        predictions = model.predict(holed)
+        assert len(predictions) == holed.n_rows
+
+    def test_describe_reports_metadata(self, name, train_test):
+        train, _ = train_test
+        model = CLASSIFIER_REGISTRY[name]().fit(train)
+        description = model.describe()
+        assert description["algorithm"] == name
+        assert description["target"] == "target"
+
+    def test_fit_requires_target(self, name):
+        from repro.exceptions import ReproError
+
+        dataset = Dataset.from_dict({"a": [1.0, 2.0, 3.0, 4.0]})
+        with pytest.raises(ReproError):
+            CLASSIFIER_REGISTRY[name]().fit(dataset)
+
+
+class TestDecisionTree:
+    def test_rules_and_structure(self, train_test):
+        train, _ = train_test
+        tree = DecisionTreeClassifier(max_depth=4).fit(train)
+        assert 0 < tree.depth() <= 4
+        assert tree.n_leaves() >= 2
+        rules = tree.extract_rules()
+        assert all(rule["prediction"] in tree.classes_ for rule in rules)
+        assert all(0.0 <= rule["confidence"] <= 1.0 for rule in rules)
+
+    def test_pure_leaf_on_trivial_data(self):
+        dataset = Dataset.from_dict(
+            {"x": [0.0, 0.0, 1.0, 1.0] * 5, "target": ["a", "a", "b", "b"] * 5}
+        ).set_target("target")
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(dataset)
+        assert tree.score(dataset) == 1.0
+
+    def test_categorical_splits(self):
+        dataset = Dataset.from_dict(
+            {
+                "colour": ["red", "blue"] * 20,
+                "target": ["warm", "cold"] * 20,
+            },
+            ctypes={"colour": ColumnType.CATEGORICAL},
+        ).set_target("target")
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(dataset)
+        assert tree.score(dataset) == 1.0
+        assert tree.root_.feature == "colour"
+
+    def test_max_depth_zero_gives_majority_leaf(self, train_test):
+        train, test = train_test
+        stump = DecisionTreeClassifier(max_depth=0).fit(train)
+        assert stump.n_leaves() == 1
+        assert len(set(stump.predict(test))) == 1
+
+    def test_invalid_criterion_rejected(self):
+        with pytest.raises(MiningError):
+            DecisionTreeClassifier(criterion="gini_ratio")
+
+
+class TestNaiveBayes:
+    def test_laplace_must_be_positive(self):
+        with pytest.raises(MiningError):
+            NaiveBayesClassifier(laplace=0.0)
+
+    def test_unseen_category_does_not_crash(self, train_test):
+        train, test = train_test
+        model = NaiveBayesClassifier().fit(train)
+        modified = test.replace_column(
+            Column("cat_0", ["never_seen_level"] * test.n_rows, ctype=ColumnType.CATEGORICAL)
+        )
+        assert len(model.predict(modified)) == test.n_rows
+
+    def test_priors_reflect_class_frequencies(self):
+        dataset = Dataset.from_dict(
+            {"x": [1.0] * 9 + [5.0], "target": ["a"] * 9 + ["b"]}
+        ).set_target("target")
+        model = NaiveBayesClassifier().fit(dataset)
+        assert model._priors["a"] == pytest.approx(0.9)
+
+
+class TestKNN:
+    def test_k_validation(self):
+        with pytest.raises(MiningError):
+            KNNClassifier(k=0)
+
+    def test_k_larger_than_training_set(self):
+        dataset = Dataset.from_dict({"x": [0.0, 1.0, 5.0, 6.0], "target": ["a", "a", "b", "b"]}).set_target("target")
+        model = KNNClassifier(k=50).fit(dataset)
+        assert len(model.predict(dataset)) == 4
+
+    def test_weighted_voting(self, train_test):
+        train, test = train_test
+        weighted = KNNClassifier(k=5, weighted=True).fit(train)
+        assert weighted.score(test) > 0.7
+
+    def test_exact_neighbour_wins(self):
+        dataset = Dataset.from_dict({"x": [0.0, 10.0], "target": ["a", "b"]}).set_target("target")
+        model = KNNClassifier(k=1).fit(dataset)
+        probe = Dataset.from_dict({"x": [0.1], "target": ["?"]}).set_target("target")
+        assert model.predict(probe) == ["a"]
+
+
+class TestLogisticRegression:
+    def test_parameter_validation(self):
+        with pytest.raises(MiningError):
+            LogisticRegressionClassifier(learning_rate=0.0)
+        with pytest.raises(MiningError):
+            LogisticRegressionClassifier(epochs=0)
+
+    def test_coefficients_exposed(self, train_test):
+        train, _ = train_test
+        model = LogisticRegressionClassifier(epochs=50).fit(train)
+        coefficients = model.coefficients()
+        assert set(next(iter(coefficients.values()))) == set(model.classes_)
+
+    def test_multiclass(self):
+        dataset = make_classification_dataset(n_rows=150, n_classes=3, seed=5)
+        train, test = train_test_split(dataset, seed=2)
+        model = LogisticRegressionClassifier(epochs=200).fit(train)
+        assert model.score(test) > 0.7
+        assert len(model.classes_) == 3
+
+
+class TestRuleInduction:
+    def test_one_r_selects_informative_feature(self):
+        dataset = Dataset.from_dict(
+            {
+                "useless": ["x"] * 40,
+                "useful": ["p", "q"] * 20,
+                "target": ["a", "b"] * 20,
+            },
+            ctypes={"useless": ColumnType.CATEGORICAL, "useful": ColumnType.CATEGORICAL},
+        ).set_target("target")
+        model = OneRClassifier().fit(dataset)
+        assert model.best_feature_ == "useful"
+        assert model.score(dataset) == 1.0
+        assert model.describe()["selected_feature"] == "useful"
+
+    def test_one_r_bins_validation(self):
+        with pytest.raises(MiningError):
+            OneRClassifier(bins=1)
+
+    def test_prism_rules_are_readable(self, train_test):
+        train, _ = train_test
+        model = PrismClassifier(max_rules_per_class=10).fit(train)
+        texts = model.rule_texts()
+        assert texts
+        assert all(text.startswith("IF ") and "THEN class =" in text for text in texts)
+        assert model.describe()["n_rules"] == len(texts)
+
+    def test_prism_perfect_on_deterministic_data(self):
+        dataset = Dataset.from_dict(
+            {
+                "district": ["centre", "north"] * 20,
+                "target": ["rich", "poor"] * 20,
+            },
+            ctypes={"district": ColumnType.CATEGORICAL},
+        ).set_target("target")
+        model = PrismClassifier().fit(dataset)
+        assert model.score(dataset) == 1.0
+
+    def test_prism_falls_back_to_default_class(self, train_test):
+        train, _ = train_test
+        model = PrismClassifier().fit(train)
+        empty_row = Dataset.from_dict(
+            {name: [None] for name in train.feature_names()} | {"target": ["class_0"]},
+            ctypes={c.name: c.ctype for c in train.feature_columns()},
+        ).set_target("target")
+        prediction = model.predict(empty_row)
+        assert prediction[0] in model.classes_

@@ -1,0 +1,121 @@
+"""Unit tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MiningError
+from repro.mining.metrics import (
+    accuracy,
+    classification_report,
+    cohen_kappa,
+    confusion_matrix,
+    macro_f1,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+    rule_interestingness,
+    silhouette_score,
+    sum_of_squared_errors,
+)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy(["a", "b", "a"], ["a", "b", "b"]) == pytest.approx(2 / 3)
+        assert accuracy(["a"], ["a"]) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MiningError):
+            accuracy(["a"], ["a", "b"])
+        with pytest.raises(MiningError):
+            accuracy([], [])
+
+    def test_confusion_matrix(self):
+        labels, matrix = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+        assert matrix.sum() == 3
+
+    def test_precision_recall_f1(self):
+        stats = precision_recall_f1(["a", "a", "b", "b"], ["a", "b", "b", "b"])
+        assert stats["a"]["precision"] == 1.0
+        assert stats["a"]["recall"] == pytest.approx(0.5)
+        assert stats["b"]["recall"] == 1.0
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_macro_f1_handles_missing_class_predictions(self):
+        value = macro_f1(["a", "b", "c"], ["a", "a", "a"])
+        assert 0.0 < value < 1.0
+
+    def test_cohen_kappa_perfect_and_chance(self):
+        assert cohen_kappa(["a", "b", "a", "b"], ["a", "b", "a", "b"]) == 1.0
+        chance = cohen_kappa(["a", "a", "b", "b"], ["a", "b", "a", "b"])
+        assert chance == pytest.approx(0.0)
+
+    def test_classification_report_keys(self):
+        report = classification_report(["a", "b"], ["a", "b"])
+        assert set(report) == {"accuracy", "macro_f1", "kappa"}
+
+
+class TestRegressionMetrics:
+    def test_mse_and_mae(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 5]) == pytest.approx(4 / 3)
+        assert mean_absolute_error([1, 2, 3], [1, 2, 5]) == pytest.approx(2 / 3)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        truth = [1.0, 2.0, 3.0, 4.0]
+        assert r2_score(truth, truth) == 1.0
+        assert r2_score(truth, [2.5] * 4) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestClusteringMetrics:
+    def test_sse_zero_at_centroids(self):
+        matrix = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        centroids = matrix.copy()
+        assert sum_of_squared_errors(matrix, [0, 1], centroids) == 0.0
+
+    def test_sse_mismatch_rejected(self):
+        with pytest.raises(MiningError):
+            sum_of_squared_errors(np.zeros((3, 2)), [0, 1], np.zeros((1, 2)))
+
+    def test_silhouette_separated_blobs(self):
+        blob_a = np.random.default_rng(0).normal(0, 0.1, size=(10, 2))
+        blob_b = np.random.default_rng(1).normal(5, 0.1, size=(10, 2))
+        matrix = np.vstack([blob_a, blob_b])
+        labels = [0] * 10 + [1] * 10
+        assert silhouette_score(matrix, labels) > 0.9
+
+    def test_silhouette_single_cluster_is_zero(self):
+        assert silhouette_score(np.zeros((5, 2)), [0] * 5) == 0.0
+
+    def test_silhouette_mismatch_rejected(self):
+        with pytest.raises(MiningError):
+            silhouette_score(np.zeros((3, 2)), [0, 1])
+
+
+class TestRuleInterestingness:
+    def test_confidence_lift_leverage(self):
+        measures = rule_interestingness(0.4, 0.5, 0.3)
+        assert measures["confidence"] == pytest.approx(0.75)
+        assert measures["lift"] == pytest.approx(1.5)
+        assert measures["leverage"] == pytest.approx(0.3 - 0.2)
+        assert measures["conviction"] == pytest.approx((1 - 0.5) / (1 - 0.75))
+
+    def test_perfect_confidence_gives_infinite_conviction(self):
+        measures = rule_interestingness(0.3, 0.5, 0.3)
+        assert math.isinf(measures["conviction"])
+
+    def test_out_of_range_support_rejected(self):
+        with pytest.raises(MiningError):
+            rule_interestingness(1.2, 0.5, 0.3)

@@ -1,0 +1,150 @@
+"""Unit tests for preprocessing: imputation, encoding, scaling, feature selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.injection import CorrelatedAttributesInjector, MissingValuesInjector
+from repro.exceptions import MiningError
+from repro.mining.preprocessing import (
+    DatasetEncoder,
+    correlation_filter,
+    encode_labels,
+    impute,
+    information_gain_ranking,
+    select_features,
+    standardize,
+    variance_threshold,
+)
+from repro.tabular.dataset import Column, ColumnRole, ColumnType, Dataset, is_missing_value
+
+
+class TestImputation:
+    def test_mean_mode(self, tiny_dataset):
+        filled = impute(tiny_dataset, "mean_mode")
+        assert filled["amount"].n_missing() == 0
+        assert filled["district"].n_missing() == 0
+        assert filled["amount"][2] == pytest.approx(30.0)
+        # mode of district is a tie between north and south -> one of them
+        assert filled["district"][3] in {"north", "south"}
+
+    def test_median_mode(self, tiny_dataset):
+        filled = impute(tiny_dataset, "median_mode")
+        assert filled["amount"][2] == pytest.approx(30.0)
+
+    def test_constant(self, tiny_dataset):
+        filled = impute(tiny_dataset, "constant")
+        assert filled["amount"][2] == 0.0
+        assert filled["district"][3] == "missing"
+
+    def test_drop_rows(self, tiny_dataset):
+        reduced = impute(tiny_dataset, "drop_rows")
+        assert reduced.n_rows == 3
+
+    def test_drop_rows_everything_missing_rejected(self):
+        ds = Dataset.from_dict({"x": [None, None]}, ctypes={"x": ColumnType.NUMERIC})
+        with pytest.raises(MiningError):
+            impute(ds, "drop_rows")
+
+    def test_unknown_strategy_rejected(self, tiny_dataset):
+        with pytest.raises(MiningError):
+            impute(tiny_dataset, "magic")
+
+    def test_original_untouched(self, tiny_dataset):
+        impute(tiny_dataset, "mean_mode")
+        assert tiny_dataset["amount"].n_missing() == 1
+
+
+class TestEncoder:
+    def test_shapes_and_labels(self, clean_classification):
+        encoder = DatasetEncoder()
+        X = encoder.fit_transform(clean_classification)
+        assert X.shape[0] == clean_classification.n_rows
+        assert X.shape[1] == len(encoder.feature_labels_)
+        # one-hot labels look like cat_0=level_x
+        assert any("=" in label for label in encoder.feature_labels_)
+
+    def test_scaling_zero_mean(self, clean_classification):
+        encoder = DatasetEncoder(scale=True)
+        X = encoder.fit_transform(clean_classification)
+        numeric_block = X[:, : len([c for c in clean_classification.feature_columns() if c.is_numeric()])]
+        assert np.allclose(numeric_block.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_missing_numeric_imputed_with_mean(self):
+        ds = Dataset.from_dict({"x": [1.0, None, 3.0], "target": ["a", "b", "a"]}).set_target("target")
+        encoder = DatasetEncoder(scale=False)
+        X = encoder.fit_transform(ds)
+        assert X[1, 0] == pytest.approx(2.0)
+
+    def test_unseen_category_encoded_as_zeros(self):
+        train = Dataset.from_dict({"c": ["a", "b"], "target": ["x", "y"]}).set_target("target")
+        test = Dataset.from_dict({"c": ["z"], "target": ["x"]}).set_target("target")
+        encoder = DatasetEncoder()
+        encoder.fit(train)
+        encoded = encoder.transform(test)
+        assert np.allclose(encoded, 0.0)
+
+    def test_transform_before_fit_rejected(self, clean_classification):
+        with pytest.raises(MiningError):
+            DatasetEncoder().transform(clean_classification)
+
+    def test_no_features_rejected(self):
+        ds = Dataset.from_dict({"target": ["a", "b"]}).set_target("target")
+        with pytest.raises(MiningError):
+            DatasetEncoder().fit(ds)
+
+    def test_encode_labels(self):
+        codes, labels = encode_labels(["b", "a", "b", None])
+        assert labels == ["a", "b"]
+        assert codes.tolist() == [1, 0, 1, -1]
+
+
+class TestStandardize:
+    def test_standardize_only_numeric_features(self, budget_dataset):
+        scaled = standardize(budget_dataset, columns=["budgeted"])
+        values = np.asarray(scaled["budgeted"].non_missing())
+        assert abs(values.mean()) < 1e-9
+
+
+class TestFeatureSelection:
+    def test_variance_threshold_drops_constant(self, clean_classification):
+        with_constant = clean_classification.add_column(Column("constant", [1.0] * clean_classification.n_rows))
+        kept = variance_threshold(with_constant)
+        assert "constant" not in kept
+        assert "num_0" in kept
+
+    def test_correlation_filter_drops_redundant_copies(self, clean_classification):
+        correlated = CorrelatedAttributesInjector().apply(clean_classification, 1.0, seed=0)
+        kept = correlation_filter(correlated, threshold=0.9)
+        assert len(kept) < len(correlated.feature_names())
+        # original features survive, redundant copies are the ones dropped
+        assert "num_0" in kept
+
+    def test_information_gain_ranking_prefers_signal(self, clean_classification):
+        noisy = clean_classification.add_column(
+            Column("pure_noise", list(np.random.default_rng(0).normal(size=clean_classification.n_rows)))
+        )
+        ranking = dict(information_gain_ranking(noisy))
+        assert ranking["num_0"] > ranking["pure_noise"]
+
+    def test_select_features_keeps_target_and_identifier(self, budget_dataset):
+        reduced = select_features(budget_dataset, k=2)
+        assert reduced.target_column().name == "overrun"
+        assert "line_id" in reduced.column_names
+        assert len(reduced.feature_columns()) == 2
+
+    def test_select_features_variance_method(self, clean_classification):
+        reduced = select_features(clean_classification, k=2, method="variance")
+        assert len(reduced.feature_columns()) <= 3
+
+    def test_select_features_invalid_args(self, clean_classification):
+        with pytest.raises(MiningError):
+            select_features(clean_classification, k=0)
+        with pytest.raises(MiningError):
+            select_features(clean_classification, k=2, method="astrology")
+
+    def test_missing_values_do_not_break_selection(self, clean_classification):
+        holed = MissingValuesInjector().apply(clean_classification, 0.2, seed=1)
+        ranking = information_gain_ranking(holed)
+        assert len(ranking) == len(holed.feature_columns())

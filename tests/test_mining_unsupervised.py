@@ -1,0 +1,194 @@
+"""Unit tests for Apriori, clustering, PCA and the regression tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_dataset, make_regression_dataset, make_transactions_dataset
+from repro.exceptions import MiningError
+from repro.mining import (
+    AgglomerativeClusterer,
+    Apriori,
+    KMeansClusterer,
+    PCATransformer,
+    RegressionTreeLearner,
+    dataset_to_transactions,
+    mean_squared_error,
+    r2_score,
+    silhouette_score,
+)
+from repro.mining.preprocessing import DatasetEncoder
+from repro.tabular.dataset import ColumnRole, Dataset
+
+
+class TestApriori:
+    @pytest.fixture(scope="class")
+    def transactions(self):
+        return dataset_to_transactions(make_transactions_dataset(n_rows=300, seed=2))
+
+    def test_parameter_validation(self):
+        with pytest.raises(MiningError):
+            Apriori(min_support=0.0)
+        with pytest.raises(MiningError):
+            Apriori(min_confidence=1.5)
+
+    def test_rules_before_fit_rejected(self):
+        with pytest.raises(MiningError):
+            Apriori().rules()
+
+    def test_empty_transactions_rejected(self):
+        with pytest.raises(MiningError):
+            Apriori().fit([])
+
+    def test_supports_are_valid_and_antimonotone(self, transactions):
+        apriori = Apriori(min_support=0.05, min_confidence=0.5).fit(transactions)
+        for itemset, support in apriori.itemsets_.items():
+            assert 0.05 <= support <= 1.0
+            # every subset of a frequent itemset is frequent with >= support
+            for item in itemset:
+                subset = itemset - {item}
+                if subset:
+                    assert apriori.itemsets_[subset] >= support
+
+    def test_planted_rule_recovered(self, transactions):
+        apriori = Apriori(min_support=0.03, min_confidence=0.6).fit(transactions)
+        rules = apriori.rules()
+        planted = [
+            rule
+            for rule in rules
+            if {"district=centre", "service=library"} <= rule.antecedent and "satisfaction=high" in rule.consequent
+        ]
+        assert planted, "the planted centre+library -> high satisfaction rule should be found"
+        assert planted[0].confidence > 0.6
+        assert planted[0].lift > 1.5
+
+    def test_rule_sorting_and_text(self, transactions):
+        rules = Apriori(min_support=0.05, min_confidence=0.5).fit(transactions).rules()
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+        assert "=>" in rules[0].as_text()
+        assert set(rules[0].as_dict()) >= {"antecedent", "consequent", "support", "confidence", "lift"}
+
+    def test_frequent_itemsets_filter(self, transactions):
+        apriori = Apriori(min_support=0.05).fit(transactions)
+        pairs = apriori.frequent_itemsets(min_size=2)
+        assert all(len(itemset) >= 2 for itemset, _ in pairs)
+
+    def test_dataset_to_transactions_discretises_numerics(self, budget_dataset):
+        transactions = dataset_to_transactions(budget_dataset, columns=["budgeted", "district"])
+        assert all(any(item.startswith("budgeted=") for item in t) for t in transactions if t)
+
+    def test_dataset_to_transactions_skips_identifiers(self, budget_dataset):
+        transactions = dataset_to_transactions(budget_dataset)
+        assert not any(item.startswith("line_id=") for t in transactions for item in t)
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self, clustered_dataset):
+        clusterer = KMeansClusterer(k=3, seed=1)
+        labels = clusterer.fit_predict(clustered_dataset)
+        assert len(set(labels)) == 3
+        matrix = DatasetEncoder().fit_transform(clustered_dataset)
+        assert silhouette_score(matrix, labels) > 0.4
+
+    def test_inertia_decreases_with_more_clusters(self, clustered_dataset):
+        inertia_2 = KMeansClusterer(k=2, seed=0).fit(clustered_dataset).inertia_
+        inertia_5 = KMeansClusterer(k=5, seed=0).fit(clustered_dataset).inertia_
+        assert inertia_5 < inertia_2
+
+    def test_predict_assigns_nearest_centroid(self, clustered_dataset):
+        clusterer = KMeansClusterer(k=3, seed=3).fit(clustered_dataset)
+        assignments = clusterer.predict(clustered_dataset)
+        assert assignments == clusterer.labels_
+
+    def test_validation(self, clustered_dataset):
+        with pytest.raises(MiningError):
+            KMeansClusterer(k=0)
+        with pytest.raises(MiningError):
+            KMeansClusterer(k=500).fit(clustered_dataset)
+        with pytest.raises(MiningError):
+            KMeansClusterer(k=2).predict(clustered_dataset)
+
+    def test_reproducible_with_seed(self, clustered_dataset):
+        a = KMeansClusterer(k=3, seed=7).fit_predict(clustered_dataset)
+        b = KMeansClusterer(k=3, seed=7).fit_predict(clustered_dataset)
+        assert a == b
+
+
+class TestAgglomerative:
+    def test_cluster_count(self, clustered_dataset):
+        small = clustered_dataset.head(40)
+        clusterer = AgglomerativeClusterer(n_clusters=3)
+        labels = clusterer.fit_predict(small)
+        assert len(set(labels)) == 3
+        assert len(labels) == small.n_rows
+        assert len(clusterer.merge_history_) == small.n_rows - 3
+
+    def test_linkage_options(self, clustered_dataset):
+        small = clustered_dataset.head(30)
+        for linkage in ("single", "complete", "average"):
+            labels = AgglomerativeClusterer(n_clusters=2, linkage=linkage).fit_predict(small)
+            assert len(set(labels)) == 2
+
+    def test_validation(self, clustered_dataset):
+        with pytest.raises(MiningError):
+            AgglomerativeClusterer(n_clusters=0)
+        with pytest.raises(MiningError):
+            AgglomerativeClusterer(linkage="ward")
+        with pytest.raises(MiningError):
+            AgglomerativeClusterer(n_clusters=100).fit(clustered_dataset.head(10))
+
+
+class TestPCA:
+    def test_component_count_and_variance(self, clean_classification):
+        pca = PCATransformer(n_components=2).fit(clean_classification)
+        assert pca.n_components_kept() == 2
+        assert pca.explained_variance_ratio_.shape == (2,)
+        assert np.all(np.diff(pca.explained_variance_ratio_) <= 1e-12)
+
+    def test_explained_variance_target(self, clean_classification):
+        pca = PCATransformer(explained_variance=0.99).fit(clean_classification)
+        assert pca.explained_variance_ratio_.sum() >= 0.5
+
+    def test_transform_preserves_non_features(self, clean_classification):
+        reduced = PCATransformer(n_components=2).fit_transform(clean_classification)
+        assert reduced.target_column().name == "target"
+        assert reduced.n_rows == clean_classification.n_rows
+        assert [c.name for c in reduced.feature_columns()] == ["pc1", "pc2"]
+
+    def test_validation(self, clean_classification):
+        with pytest.raises(MiningError):
+            PCATransformer(n_components=0)
+        with pytest.raises(MiningError):
+            PCATransformer(explained_variance=0.0)
+        with pytest.raises(MiningError):
+            PCATransformer().transform(clean_classification)
+
+
+class TestRegressionTree:
+    def test_fits_nonlinear_signal(self):
+        dataset = make_regression_dataset(n_rows=300, noise=0.2, seed=1)
+        learner = RegressionTreeLearner(max_depth=6).fit(dataset)
+        predictions = learner.predict(dataset)
+        truth = dataset["target"].tolist()
+        assert r2_score(truth, predictions) > 0.5
+        assert mean_squared_error(truth, predictions) < np.var(truth)
+
+    def test_used_features_subset(self):
+        dataset = make_regression_dataset(n_rows=200, seed=3)
+        learner = RegressionTreeLearner().fit(dataset)
+        assert set(learner.used_features()) <= set(dataset.feature_names())
+
+    def test_explicit_target_argument(self, budget_dataset):
+        learner = RegressionTreeLearner(max_depth=4).fit(
+            budget_dataset.set_role("overrun", ColumnRole.METADATA), target="execution_rate"
+        )
+        predictions = learner.predict(budget_dataset)
+        assert len(predictions) == budget_dataset.n_rows
+
+    def test_validation(self, budget_dataset):
+        with pytest.raises(MiningError):
+            RegressionTreeLearner().fit(budget_dataset, target="district")
+        with pytest.raises(MiningError):
+            RegressionTreeLearner().predict(budget_dataset)

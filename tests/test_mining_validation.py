@@ -1,0 +1,100 @@
+"""Unit tests for train/test splitting, stratified k-fold and cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_classification_dataset
+from repro.exceptions import MiningError
+from repro.mining import DecisionTreeClassifier, NaiveBayesClassifier, cross_validate, stratified_kfold, train_test_split
+from repro.mining.validation import EvaluationResult, holdout_evaluate
+from repro.tabular.dataset import Dataset
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self, clean_classification):
+        train, test = train_test_split(clean_classification, test_fraction=0.25, seed=0)
+        assert train.n_rows + test.n_rows == clean_classification.n_rows
+        assert test.n_rows == pytest.approx(0.25 * clean_classification.n_rows, abs=3)
+
+    def test_stratification_keeps_class_shares(self, clean_classification):
+        _, test = train_test_split(clean_classification, test_fraction=0.3, seed=1, stratify=True)
+        counts = test["target"].value_counts()
+        shares = [count / test.n_rows for count in counts.values()]
+        assert max(shares) - min(shares) < 0.25
+
+    def test_reproducible(self, clean_classification):
+        a = train_test_split(clean_classification, seed=5)[1]
+        b = train_test_split(clean_classification, seed=5)[1]
+        assert a.to_rows() == b.to_rows()
+
+    def test_unstratified_split(self, clean_classification):
+        train, test = train_test_split(clean_classification, stratify=False, seed=2)
+        assert train.n_rows + test.n_rows == clean_classification.n_rows
+
+    def test_invalid_fraction(self, clean_classification):
+        with pytest.raises(MiningError):
+            train_test_split(clean_classification, test_fraction=0.0)
+
+    def test_too_small_dataset(self):
+        tiny = Dataset.from_dict({"x": [1.0, 2.0], "target": ["a", "b"]}).set_target("target")
+        with pytest.raises(MiningError):
+            train_test_split(tiny)
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_every_row(self, clean_classification):
+        folds = stratified_kfold(clean_classification, k=4, seed=0)
+        assert len(folds) == 4
+        all_test_indices = sorted(i for _, test in folds for i in test)
+        assert all_test_indices == list(range(clean_classification.n_rows))
+
+    def test_train_and_test_disjoint(self, clean_classification):
+        for train, test in stratified_kfold(clean_classification, k=3):
+            assert not set(train) & set(test)
+
+    def test_validation(self, clean_classification):
+        with pytest.raises(MiningError):
+            stratified_kfold(clean_classification, k=1)
+        with pytest.raises(MiningError):
+            stratified_kfold(clean_classification.head(3), k=10)
+
+
+class TestCrossValidate:
+    def test_result_fields(self, clean_classification):
+        result = cross_validate(DecisionTreeClassifier, clean_classification, k=3)
+        assert isinstance(result, EvaluationResult)
+        assert result.algorithm == "decision_tree"
+        assert 0.0 <= result.accuracy <= 1.0
+        assert len(result.fold_accuracies) == 3
+        assert result.accuracy_std >= 0.0
+        assert set(result.as_dict()) >= {"algorithm", "accuracy", "macro_f1", "kappa"}
+
+    def test_skips_rows_with_missing_target(self, clean_classification):
+        from repro.tabular.dataset import Column
+
+        values = clean_classification["target"].tolist()
+        values[0] = None
+        values[1] = None
+        holed = clean_classification.replace_column(
+            Column("target", values, ctype="categorical", role="target")
+        )
+        result = cross_validate(NaiveBayesClassifier, holed, k=3)
+        assert result.accuracy > 0.5
+
+    def test_too_few_rows_rejected(self):
+        tiny = Dataset.from_dict({"x": [1.0, 2.0, 3.0], "target": ["a", "b", "a"]}).set_target("target")
+        with pytest.raises(MiningError):
+            cross_validate(DecisionTreeClassifier, tiny, k=10)
+
+    def test_holdout_evaluate(self, clean_classification):
+        train, test = train_test_split(clean_classification, seed=3)
+        result = holdout_evaluate(NaiveBayesClassifier, train, test)
+        assert result.algorithm == "naive_bayes"
+        assert result.accuracy > 0.7
+        assert len(result.fold_accuracies) == 1
+
+    def test_single_split_std_is_zero(self, clean_classification):
+        train, test = train_test_split(clean_classification, seed=3)
+        result = holdout_evaluate(NaiveBayesClassifier, train, test)
+        assert result.accuracy_std == 0.0

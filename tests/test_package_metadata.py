@@ -1,0 +1,82 @@
+"""Tests for the package metadata, exception hierarchy and public re-exports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    DataQualityError,
+    ExperimentError,
+    KnowledgeBaseError,
+    LODError,
+    MiningError,
+    OLAPError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestMetadata:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2 and all(part.isdigit() for part in parts[:2])
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} advertised in __all__ but missing"
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [SchemaError, DataQualityError, MiningError, ExperimentError, KnowledgeBaseError, LODError, OLAPError],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+        with pytest.raises(ReproError):
+            raise exception_type("boom")
+
+    def test_catching_the_base_class_is_enough(self):
+        from repro.tabular.dataset import Dataset
+
+        try:
+            Dataset([])
+        except ReproError as exc:
+            assert isinstance(exc, SchemaError)
+        else:  # pragma: no cover - the constructor must raise
+            pytest.fail("Dataset([]) should have raised")
+
+
+class TestPublicAPISurfaces:
+    def test_subpackage_all_lists_are_importable(self):
+        import repro.bi as bi
+        import repro.core as core
+        import repro.lod as lod
+        import repro.metamodel as metamodel
+        import repro.mining as mining
+        import repro.quality as quality
+        import repro.tabular as tabular
+
+        for module in (bi, core, lod, metamodel, mining, quality, tabular):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    def test_classifier_registry_matches_user_profile_defaults(self):
+        from repro.core.profiles import DEFAULT_ALGORITHMS
+        from repro.mining import CLASSIFIER_REGISTRY
+
+        for algorithm in DEFAULT_ALGORITHMS["classification"]:
+            assert algorithm in CLASSIFIER_REGISTRY
+
+    def test_quality_criteria_cover_injectors(self):
+        """Every injector except class_noise degrades a criterion we can measure."""
+        from repro.core.injection import INJECTOR_REGISTRY
+        from repro.quality import CRITERIA_REGISTRY
+
+        measurable = set(CRITERIA_REGISTRY)
+        for name in INJECTOR_REGISTRY:
+            if name == "class_noise":
+                continue
+            assert name in measurable, f"injector {name!r} has no matching quality criterion"

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the dataset substrate and IO round trips."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tabular.dataset import Column, ColumnType, Dataset, infer_column_type, is_missing_value
+from repro.tabular.io_csv import read_csv_text, write_csv_text
+from repro.tabular.io_json import read_json_records, write_json_records
+from repro.tabular.transforms import distinct, normalize, sort_by
+
+# -- strategies --------------------------------------------------------------
+
+_cell_numbers = st.one_of(
+    st.none(),
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+_cell_categories = st.one_of(st.none(), st.sampled_from(["north", "south", "east", "west", "centre"]))
+
+
+@st.composite
+def mixed_datasets(draw, min_rows: int = 2, max_rows: int = 30):
+    """Datasets with one numeric and one categorical column plus a row id."""
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    numbers = draw(st.lists(_cell_numbers, min_size=n, max_size=n))
+    categories = draw(st.lists(_cell_categories, min_size=n, max_size=n))
+    return Dataset(
+        [
+            Column("row_id", [f"r{i}" for i in range(n)], ctype=ColumnType.STRING, role="identifier"),
+            Column("value", numbers, ctype=ColumnType.NUMERIC),
+            Column("zone", categories, ctype=ColumnType.CATEGORICAL),
+        ],
+        name="generated",
+    )
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(mixed_datasets())
+@settings(max_examples=40, deadline=None)
+def test_row_column_consistency(dataset):
+    """Every column reports the same length and row access matches column access."""
+    assert all(len(column) == dataset.n_rows for column in dataset.columns)
+    for i in range(dataset.n_rows):
+        row = dataset.row(i)
+        for name in dataset.column_names:
+            a, b = row[name], dataset[name][i]
+            assert (is_missing_value(a) and is_missing_value(b)) or a == b
+
+
+@given(mixed_datasets())
+@settings(max_examples=40, deadline=None)
+def test_take_preserves_values(dataset):
+    indices = list(range(dataset.n_rows))[::-1]
+    reversed_dataset = dataset.take(indices)
+    assert reversed_dataset.n_rows == dataset.n_rows
+    assert reversed_dataset.take(indices) == dataset
+
+
+@given(mixed_datasets(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_shuffle_is_permutation(dataset, seed):
+    shuffled = dataset.shuffle(seed=seed)
+    assert sorted(shuffled["row_id"].tolist()) == sorted(dataset["row_id"].tolist())
+
+
+@given(mixed_datasets())
+@settings(max_examples=30, deadline=None)
+def test_concat_lengths_add_up(dataset):
+    doubled = dataset.concat(dataset)
+    assert doubled.n_rows == 2 * dataset.n_rows
+    assert doubled.column_names == dataset.column_names
+
+
+@given(mixed_datasets())
+@settings(max_examples=30, deadline=None)
+def test_distinct_idempotent(dataset):
+    once = distinct(dataset)
+    twice = distinct(once)
+    assert once == twice
+    assert once.n_rows <= dataset.n_rows
+
+
+@given(mixed_datasets())
+@settings(max_examples=30, deadline=None)
+def test_sort_is_stable_permutation(dataset):
+    ordered = sort_by(dataset, ["value"])
+    assert sorted(ordered["row_id"].tolist()) == sorted(dataset["row_id"].tolist())
+    present = [v for v in ordered["value"].tolist() if not is_missing_value(v)]
+    assert present == sorted(present)
+
+
+@given(mixed_datasets())
+@settings(max_examples=30, deadline=None)
+def test_minmax_normalisation_bounds(dataset):
+    scaled = normalize(dataset, columns=["value"], method="minmax")
+    present = [v for v in scaled["value"].tolist() if not is_missing_value(v)]
+    assert all(-1e-9 <= v <= 1.0 + 1e-9 for v in present)
+    # missing cells stay missing
+    assert scaled["value"].n_missing() == dataset["value"].n_missing()
+
+
+@given(mixed_datasets())
+@settings(max_examples=25, deadline=None)
+def test_csv_roundtrip_preserves_shape_and_numbers(dataset):
+    text = write_csv_text(dataset)
+    loaded = read_csv_text(text, ctypes={"value": ColumnType.NUMERIC, "zone": ColumnType.CATEGORICAL})
+    assert loaded.n_rows == dataset.n_rows
+    assert loaded.column_names == dataset.column_names
+    for original, reloaded in zip(dataset["value"].tolist(), loaded["value"].tolist()):
+        if is_missing_value(original):
+            assert is_missing_value(reloaded)
+        else:
+            assert math.isclose(float(original), float(reloaded), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(mixed_datasets())
+@settings(max_examples=25, deadline=None)
+def test_json_roundtrip_preserves_missingness(dataset):
+    loaded = read_json_records(write_json_records(dataset))
+    assert loaded.n_rows == dataset.n_rows
+    for name in dataset.column_names:
+        assert loaded[name].n_missing() == dataset[name].n_missing()
+
+
+@given(st.lists(_cell_numbers, min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_inferred_type_always_valid(values):
+    assert infer_column_type(values) in ColumnType.ALL

@@ -1,0 +1,87 @@
+"""Property-based tests for the triple store and the N-Triples round trip."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lod.graph import Graph
+from repro.lod.serialization import parse_ntriples, to_ntriples
+from repro.lod.terms import IRI, Literal, Triple
+from repro.lod.triples import TripleStore
+from repro.lod.vocabulary import Namespace
+
+EX = Namespace("http://example.org/")
+
+_subjects = st.sampled_from([EX[f"s{i}"] for i in range(6)])
+_predicates = st.sampled_from([EX[f"p{i}"] for i in range(4)])
+_literal_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20),
+)
+_objects = st.one_of(_subjects, _literal_values.map(Literal))
+_triples = st.builds(Triple, _subjects, _predicates, _objects)
+_triple_lists = st.lists(_triples, max_size=60)
+
+
+@given(_triple_lists)
+@settings(max_examples=50, deadline=None)
+def test_store_behaves_like_a_set(triples):
+    store = TripleStore(triples)
+    assert len(store) == len(set(triples))
+    for triple in triples:
+        assert triple in store
+    assert set(iter(store)) == set(triples)
+
+
+@given(_triple_lists)
+@settings(max_examples=50, deadline=None)
+def test_match_is_consistent_with_full_scan(triples):
+    store = TripleStore(triples)
+    for triple in list(set(triples))[:10]:
+        by_subject = set(store.match(subject=triple.subject))
+        by_predicate = set(store.match(predicate=triple.predicate))
+        by_object = set(store.match(object=triple.object))
+        full = set(iter(store))
+        assert by_subject == {t for t in full if t.subject == triple.subject}
+        assert by_predicate == {t for t in full if t.predicate == triple.predicate}
+        assert by_object == {t for t in full if t.object == triple.object}
+
+
+@given(_triple_lists)
+@settings(max_examples=50, deadline=None)
+def test_discard_removes_exactly_one_element(triples):
+    store = TripleStore(triples)
+    unique = list(set(triples))
+    if not unique:
+        return
+    victim = unique[0]
+    assert store.discard(victim)
+    assert victim not in store
+    assert len(store) == len(unique) - 1
+    assert not store.discard(victim)
+
+
+@given(_triple_lists)
+@settings(max_examples=40, deadline=None)
+def test_ntriples_roundtrip_is_lossless(triples):
+    graph = Graph()
+    for triple in triples:
+        graph.add_triple(triple)
+    parsed = parse_ntriples(to_ntriples(graph))
+    assert len(parsed) == len(graph)
+    for triple in graph:
+        obj = triple.object
+        if isinstance(obj, Literal) and isinstance(obj.value, float):
+            # floats round-trip through xsd:double; compare via the store contents
+            matches = list(parsed.triples(triple.subject, triple.predicate, None))
+            assert any(
+                isinstance(m.object, Literal)
+                and isinstance(m.object.value, (int, float))
+                and not isinstance(m.object.value, bool)
+                and abs(float(m.object.value) - obj.value) < 1e-9
+                for m in matches
+            )
+        else:
+            assert any(True for _ in parsed.triples(triple.subject, triple.predicate, None))

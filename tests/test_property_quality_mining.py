@@ -1,0 +1,82 @@
+"""Property-based tests for quality criteria, injectors, metrics and the KB distance."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.injection import INJECTOR_REGISTRY, get_injector
+from repro.datasets import make_classification_dataset
+from repro.mining.metrics import accuracy, cohen_kappa, macro_f1, rule_interestingness
+from repro.quality import measure_quality
+from repro.quality.profile import DEFAULT_CRITERIA
+
+# A single reusable clean dataset keeps the property tests fast.
+_CLEAN = make_classification_dataset(n_rows=60, n_numeric=2, n_categorical=1, seed=13)
+
+_injector_names = st.sampled_from(sorted(INJECTOR_REGISTRY))
+_severities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_labels = st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=40)
+
+
+@given(_injector_names, _severities, st.integers(min_value=0, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_quality_scores_always_in_unit_interval(name, severity, seed):
+    """Whatever is injected at whatever severity, every criterion stays in [0, 1]."""
+    degraded = get_injector(name).apply(_CLEAN, severity, seed=seed)
+    profile = measure_quality(degraded)
+    for criterion, score in profile.as_dict().items():
+        assert 0.0 <= score <= 1.0, (name, severity, criterion, score)
+    assert set(profile.criteria()) == set(DEFAULT_CRITERIA)
+
+
+@given(_injector_names, st.integers(min_value=0, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_injectors_never_mutate_their_input(name, seed):
+    reference = _CLEAN.copy()
+    get_injector(name).apply(_CLEAN, 0.7, seed=seed)
+    assert _CLEAN == reference
+
+
+@given(_injector_names, _severities, st.integers(min_value=0, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_injectors_deterministic_given_seed(name, severity, seed):
+    a = get_injector(name).apply(_CLEAN, severity, seed=seed)
+    b = get_injector(name).apply(_CLEAN, severity, seed=seed)
+    assert a == b
+
+
+@given(_labels)
+@settings(max_examples=60, deadline=None)
+def test_accuracy_and_f1_bounds(truth):
+    """Metrics of a perfect prediction are 1; of any prediction they stay in [0, 1]."""
+    assert accuracy(truth, truth) == 1.0
+    assert macro_f1(truth, truth) == 1.0
+    rotated = truth[1:] + truth[:1]
+    assert 0.0 <= accuracy(truth, rotated) <= 1.0
+    assert 0.0 <= macro_f1(truth, rotated) <= 1.0
+    assert -1.0 <= cohen_kappa(truth, rotated) <= 1.0
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_rule_interestingness_consistency(support_antecedent, support_consequent):
+    """Confidence never exceeds 1 and lift is confidence / consequent support."""
+    support_rule = min(support_antecedent, support_consequent) * 0.9
+    measures = rule_interestingness(support_antecedent, support_consequent, support_rule)
+    assert 0.0 <= measures["confidence"] <= 1.0 + 1e-9
+    if support_consequent > 0:
+        assert measures["lift"] == (measures["confidence"] / support_consequent)
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_profile_distance_is_a_metric_on_samples(seed):
+    """Distance is symmetric, non-negative and zero on identical profiles."""
+    a = measure_quality(get_injector("completeness").apply(_CLEAN, 0.3, seed=seed))
+    b = measure_quality(get_injector("accuracy").apply(_CLEAN, 0.3, seed=seed))
+    assert a.distance(a) == 0.0
+    assert a.distance(b) >= 0.0
+    assert abs(a.distance(b) - b.distance(a)) < 1e-12

@@ -1,0 +1,199 @@
+"""Unit tests for the individual data quality criteria.
+
+The central property of every criterion is that injecting the matching data
+quality problem *lowers* its score, and that clean data scores (close to) 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.injection import (
+    CorrelatedAttributesInjector,
+    DuplicateInjector,
+    ImbalanceInjector,
+    InconsistencyInjector,
+    IrrelevantAttributesInjector,
+    MissingValuesInjector,
+    NoiseInjector,
+    OutlierInjector,
+)
+from repro.exceptions import DataQualityError
+from repro.quality import (
+    AccuracyCriterion,
+    BalanceCriterion,
+    CompletenessCriterion,
+    ConsistencyCriterion,
+    CorrelationCriterion,
+    CRITERIA_REGISTRY,
+    DimensionalityCriterion,
+    DuplicationCriterion,
+    OutlierCriterion,
+    get_criterion,
+)
+from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
+from repro.tabular.schema import infer_schema
+
+
+class TestRegistry:
+    def test_all_default_criteria_registered(self):
+        expected = {
+            "completeness",
+            "accuracy",
+            "consistency",
+            "duplication",
+            "correlation",
+            "balance",
+            "dimensionality",
+            "outliers",
+        }
+        assert expected <= set(CRITERIA_REGISTRY)
+
+    def test_get_criterion_by_name(self):
+        criterion = get_criterion("completeness")
+        assert isinstance(criterion, CompletenessCriterion)
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(DataQualityError):
+            get_criterion("beauty")
+
+    def test_register_requires_unique_name(self):
+        with pytest.raises(DataQualityError):
+
+            @register_criterion
+            class Anonymous(Criterion):  # noqa: N801 - intentional test class
+                name = "criterion"
+
+                def measure(self, dataset):  # pragma: no cover - never called
+                    return CriterionMeasure("criterion", 1.0)
+
+    def test_measure_score_validated(self):
+        with pytest.raises(DataQualityError):
+            CriterionMeasure("x", 1.5)
+
+
+class TestCompleteness:
+    def test_clean_data_scores_one(self, clean_classification):
+        assert CompletenessCriterion().measure(clean_classification).score == 1.0
+
+    def test_missing_values_lower_the_score(self, clean_classification):
+        degraded = MissingValuesInjector().apply(clean_classification, 0.3, seed=1)
+        measure = CompletenessCriterion().measure(degraded)
+        assert measure.score < 0.85
+        assert measure.score == pytest.approx(0.7, abs=0.07)
+
+    def test_per_column_details(self, tiny_dataset):
+        measure = CompletenessCriterion().measure(tiny_dataset)
+        assert measure.details["per_column"]["amount"] == pytest.approx(0.8)
+
+    def test_monotone_in_severity(self, clean_classification):
+        scores = [
+            CompletenessCriterion().measure(MissingValuesInjector().apply(clean_classification, s, seed=2)).score
+            for s in (0.0, 0.2, 0.5)
+        ]
+        assert scores[0] > scores[1] > scores[2]
+
+
+class TestAccuracy:
+    def test_outlier_noise_detected(self, clean_classification):
+        noisy = NoiseInjector(magnitude=10.0).apply(clean_classification, 0.25, seed=3)
+        assert AccuracyCriterion().measure(noisy).score < AccuracyCriterion().measure(clean_classification).score
+
+    def test_spelling_variants_detected(self, budget_dataset):
+        corrupted = InconsistencyInjector().apply(budget_dataset, 0.6, seed=4)
+        assert AccuracyCriterion().measure(corrupted).score < 1.0
+
+    def test_schema_reference_counts_domain_errors(self, budget_dataset):
+        schema = infer_schema(budget_dataset)
+        corrupted = NoiseInjector(magnitude=12.0).apply(budget_dataset, 0.3, seed=5)
+        without_schema = AccuracyCriterion().measure(corrupted).score
+        with_schema = AccuracyCriterion(schema=schema).measure(corrupted).score
+        assert with_schema <= 1.0
+        assert with_schema < 1.0 or without_schema < 1.0
+
+
+class TestConsistency:
+    def test_clean_data_consistent_with_inferred_schema(self, budget_dataset):
+        assert ConsistencyCriterion().measure(budget_dataset).score == 1.0
+
+    def test_violations_against_reference_schema(self, budget_dataset):
+        schema = infer_schema(budget_dataset)
+        corrupted = InconsistencyInjector().apply(budget_dataset, 0.8, seed=6)
+        measure = ConsistencyCriterion(schema=schema).measure(corrupted)
+        assert measure.score < 1.0
+        assert measure.details["n_violations"] > 0
+
+
+class TestDuplication:
+    def test_clean_data_has_no_duplicates(self, clean_classification):
+        assert DuplicationCriterion().measure(clean_classification).score == 1.0
+
+    def test_exact_duplicates_detected(self, clean_classification):
+        duplicated = DuplicateInjector().apply(clean_classification, 0.25, seed=7)
+        measure = DuplicationCriterion().measure(duplicated)
+        assert measure.score == pytest.approx(1 - 0.25 / 1.25, abs=0.03)
+
+    def test_fuzzy_duplicates_detected_only_in_fuzzy_mode(self, requests_dataset):
+        near_duplicated = DuplicateInjector(fuzzy=True).apply(requests_dataset, 0.2, seed=8)
+        strict = DuplicationCriterion(fuzzy=False).measure(near_duplicated).score
+        fuzzy = DuplicationCriterion(fuzzy=True).measure(near_duplicated).score
+        assert fuzzy <= strict
+
+
+class TestCorrelation:
+    def test_redundant_attributes_lower_the_score(self, clean_classification):
+        correlated = CorrelatedAttributesInjector().apply(clean_classification, 0.8, seed=9)
+        baseline = CorrelationCriterion().measure(clean_classification).score
+        degraded = CorrelationCriterion().measure(correlated).score
+        assert degraded < baseline
+        assert CorrelationCriterion().measure(correlated).details["redundant_pairs"]
+
+    def test_dataset_without_pairs_scores_one(self, tiny_dataset):
+        single = tiny_dataset.select_columns(["amount", "label"]).set_target("label")
+        assert CorrelationCriterion().measure(single).score == 1.0
+
+
+class TestBalance:
+    def test_balanced_target_scores_high(self, clean_classification):
+        assert BalanceCriterion().measure(clean_classification).score > 0.95
+
+    def test_imbalance_lowers_the_score(self, clean_classification):
+        skewed = ImbalanceInjector().apply(clean_classification, 0.9, seed=10)
+        measure = BalanceCriterion().measure(skewed)
+        assert measure.score < 0.7
+        assert measure.details["imbalance_ratio"] > 3
+
+    def test_fallback_without_target(self, clustered_dataset):
+        measure = BalanceCriterion().measure(clustered_dataset)
+        assert 0.0 <= measure.score <= 1.0
+
+
+class TestDimensionality:
+    def test_adding_attributes_lowers_the_score(self, clean_classification):
+        wide = IrrelevantAttributesInjector(max_added=50).apply(clean_classification, 1.0, seed=11)
+        assert (
+            DimensionalityCriterion().measure(wide).score
+            < DimensionalityCriterion().measure(clean_classification).score
+        )
+
+    def test_details_report_shape(self, clean_classification):
+        details = DimensionalityCriterion().measure(clean_classification).details
+        assert details["n_rows"] == clean_classification.n_rows
+        assert details["n_features"] == len(clean_classification.feature_columns())
+
+    def test_invalid_reference_ratio(self):
+        with pytest.raises(ValueError):
+            DimensionalityCriterion(reference_ratio=0)
+
+
+class TestOutliers:
+    def test_outlier_injection_detected(self, clean_classification):
+        spiked = OutlierInjector().apply(clean_classification, 0.8, seed=12)
+        assert OutlierCriterion().measure(spiked).score < OutlierCriterion().measure(clean_classification).score
+
+    def test_non_numeric_dataset_scores_one(self, transactions_dataset):
+        assert OutlierCriterion().measure(transactions_dataset).score == 1.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            OutlierCriterion(iqr_factor=-1)

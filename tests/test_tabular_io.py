@@ -1,0 +1,166 @@
+"""Unit tests for the CSV / JSON / XML / HTML readers and writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import ColumnType, is_missing_value
+from repro.tabular.io_csv import read_csv, read_csv_files, read_csv_text, write_csv, write_csv_text
+from repro.tabular.io_html import read_html_table, write_html_table
+from repro.tabular.io_json import read_json_records, write_json_records
+from repro.tabular.io_xml import read_xml_records, write_xml_records
+
+CSV_TEXT = "name,population,founded\nAlicante,330000,1265-01-01\nMatanzas,145000,1693-10-12\nElx,,\n"
+
+
+class TestCSV:
+    def test_read_csv_text_types(self):
+        ds = read_csv_text(CSV_TEXT)
+        assert ds.shape == (3, 3)
+        assert ds["population"].ctype == ColumnType.NUMERIC
+        assert ds["founded"].ctype == ColumnType.DATETIME
+
+    def test_missing_tokens_normalised(self):
+        ds = read_csv_text("a,b\n1,NA\n2,?\n3,null\n")
+        assert ds["b"].n_missing() == 3
+
+    def test_semicolon_sniffing(self):
+        ds = read_csv_text("a;b\n1;x\n2;y\n")
+        assert ds.column_names == ["a", "b"]
+
+    def test_pipe_and_tab_sniffing(self):
+        assert read_csv_text("a|b\n1|x\n").column_names == ["a", "b"]
+        assert read_csv_text("a\tb\n1\tx\n").column_names == ["a", "b"]
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("   ")
+
+    def test_header_only_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,b\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,a\n1,2\n")
+
+    def test_short_rows_padded(self):
+        ds = read_csv_text("a,b,c\n1,2\n")
+        assert is_missing_value(ds["c"][0])
+
+    def test_roundtrip_file(self, tmp_path, budget_dataset):
+        path = write_csv(budget_dataset, tmp_path / "budget.csv")
+        loaded = read_csv(path)
+        assert loaded.shape == budget_dataset.shape
+        assert loaded.column_names == budget_dataset.column_names
+
+    def test_roundtrip_text_preserves_integers(self):
+        ds = read_csv_text("a\n1\n2\n")
+        text = write_csv_text(ds)
+        assert "1" in text and "1.0" not in text
+
+    def test_read_csv_files_concatenates(self, tmp_path, budget_dataset):
+        p1 = write_csv(budget_dataset.head(10), tmp_path / "a.csv")
+        p2 = write_csv(budget_dataset.take(range(10, 20)), tmp_path / "b.csv")
+        combined = read_csv_files([p1, p2])
+        assert combined.n_rows == 20
+
+    def test_read_csv_files_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_files([])
+
+
+class TestJSON:
+    def test_roundtrip_string(self, tiny_dataset):
+        text = write_json_records(tiny_dataset)
+        loaded = read_json_records(text)
+        assert loaded.n_rows == tiny_dataset.n_rows
+        assert set(loaded.column_names) == set(tiny_dataset.column_names)
+
+    def test_roundtrip_file(self, tmp_path, tiny_dataset):
+        path = tmp_path / "data.json"
+        write_json_records(tiny_dataset, path)
+        loaded = read_json_records(path)
+        assert loaded.n_rows == tiny_dataset.n_rows
+
+    def test_records_wrapper_accepted(self):
+        ds = read_json_records('{"records": [{"a": 1}, {"a": 2}]}')
+        assert ds.n_rows == 2
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(SchemaError):
+            read_json_records("[]")
+
+    def test_non_object_records_rejected(self):
+        with pytest.raises(SchemaError):
+            read_json_records("[1, 2, 3]")
+
+
+class TestXML:
+    def test_roundtrip(self, tiny_dataset):
+        text = write_xml_records(tiny_dataset)
+        loaded = read_xml_records(text)
+        assert loaded.n_rows == tiny_dataset.n_rows
+        assert set(loaded.column_names) == set(tiny_dataset.column_names)
+
+    def test_attributes_are_fields(self):
+        xml = '<rows><row id="1"><value>10</value></row><row id="2"><value>20</value></row></rows>'
+        ds = read_xml_records(xml)
+        assert set(ds.column_names) == {"id", "value"}
+
+    def test_record_tag_filter(self):
+        xml = "<root><row><a>1</a></row><meta><a>ignored</a></meta><row><a>2</a></row></root>"
+        ds = read_xml_records(xml, record_tag="row")
+        assert ds.n_rows == 2
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(SchemaError):
+            read_xml_records("<unclosed>")
+
+    def test_no_records_rejected(self):
+        with pytest.raises(SchemaError):
+            read_xml_records("<root></root>")
+
+    def test_file_roundtrip(self, tmp_path, budget_dataset):
+        path = tmp_path / "budget.xml"
+        write_xml_records(budget_dataset.head(12), path)
+        loaded = read_xml_records(path)
+        assert loaded.n_rows == 12
+
+
+class TestHTML:
+    def test_roundtrip(self, tiny_dataset):
+        html = write_html_table(tiny_dataset, caption="tiny")
+        loaded = read_html_table(html)
+        assert loaded.n_rows == tiny_dataset.n_rows
+
+    def test_table_selection_by_index(self):
+        html = (
+            "<html><body>"
+            "<table><tr><th>a</th></tr><tr><td>1</td></tr></table>"
+            "<table><tr><th>b</th></tr><tr><td>2</td></tr><tr><td>3</td></tr></table>"
+            "</body></html>"
+        )
+        second = read_html_table(html, index=1)
+        assert second.column_names == ["b"]
+        assert second.n_rows == 2
+
+    def test_missing_table_rejected(self):
+        with pytest.raises(SchemaError):
+            read_html_table("<html><body><p>no tables</p></body></html>")
+
+    def test_out_of_range_index_rejected(self):
+        html = "<table><tr><th>a</th></tr><tr><td>1</td></tr></table>"
+        with pytest.raises(SchemaError):
+            read_html_table(html, index=3)
+
+    def test_header_only_table_rejected(self):
+        with pytest.raises(SchemaError):
+            read_html_table("<table><tr><th>a</th></tr></table>")
+
+    def test_file_roundtrip(self, tmp_path, budget_dataset):
+        path = tmp_path / "budget.html"
+        write_html_table(budget_dataset.head(8), path)
+        loaded = read_html_table(path)
+        assert loaded.n_rows == 8

@@ -1,0 +1,115 @@
+"""Unit tests for repro.tabular.schema (ColumnSpec, Schema, infer_schema)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Column, ColumnType, Dataset
+from repro.tabular.schema import ColumnSpec, Schema, infer_schema
+
+
+@pytest.fixture
+def dataset():
+    return Dataset(
+        [
+            Column("amount", [5.0, 15.0, 25.0, None]),
+            Column("district", ["north", "south", "north", "east"], ctype=ColumnType.CATEGORICAL),
+            Column("code", ["A1", "A2", "A3", "A1"], ctype=ColumnType.STRING),
+        ],
+        name="rows",
+    )
+
+
+class TestColumnSpec:
+    def test_type_mismatch_is_violation(self, dataset):
+        spec = ColumnSpec("district", ctype=ColumnType.NUMERIC)
+        violations = spec.validate_column(dataset["district"])
+        assert any(v.kind == "type" for v in violations)
+
+    def test_nullability(self, dataset):
+        spec = ColumnSpec("amount", nullable=False)
+        violations = spec.validate_column(dataset["amount"])
+        assert any(v.kind == "nullability" for v in violations)
+
+    def test_range_violations(self, dataset):
+        spec = ColumnSpec("amount", min_value=10.0, max_value=20.0)
+        violations = spec.validate_column(dataset["amount"])
+        kinds = [v.kind for v in violations]
+        assert kinds.count("range") == 2  # 5.0 below, 25.0 above
+
+    def test_domain_violation(self, dataset):
+        spec = ColumnSpec("district", allowed_values=("north", "south"))
+        violations = spec.validate_column(dataset["district"])
+        assert any("east" in v.message for v in violations)
+
+    def test_uniqueness(self, dataset):
+        spec = ColumnSpec("code", unique=True)
+        violations = spec.validate_column(dataset["code"])
+        assert any(v.kind == "uniqueness" for v in violations)
+
+    def test_unknown_ctype_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("x", ctype="alien")
+
+
+class TestSchema:
+    def test_required_column_missing(self, dataset):
+        schema = Schema("s").add_spec(ColumnSpec("ghost"))
+        violations = schema.validate(dataset)
+        assert any(v.kind == "presence" for v in violations)
+
+    def test_optional_column_missing_is_fine(self, dataset):
+        schema = Schema("s").add_spec(ColumnSpec("ghost", required=False))
+        assert schema.is_valid(dataset)
+
+    def test_duplicate_spec_rejected(self):
+        schema = Schema("s").add_spec(ColumnSpec("a"))
+        with pytest.raises(SchemaError):
+            schema.add_spec(ColumnSpec("a"))
+
+    def test_row_rules(self, dataset):
+        schema = Schema("s").add_row_rule("amount positive", lambda row: row["amount"] is None or row["amount"] > 10)
+        violations = schema.validate(dataset)
+        assert any(v.kind == "rule" for v in violations)
+
+    def test_row_rule_exception_counts_as_violation(self, dataset):
+        schema = Schema("s").add_row_rule("boom", lambda row: row["missing_key"] > 0)
+        violations = schema.validate(dataset)
+        assert all(v.kind == "rule-error" for v in violations)
+        assert len(violations) == dataset.n_rows
+
+    def test_spec_for_lookup(self):
+        schema = Schema("s").add_spec(ColumnSpec("a"))
+        assert schema.spec_for("a") is not None
+        assert schema.spec_for("b") is None
+
+
+class TestInferSchema:
+    def test_inferred_schema_accepts_the_source(self, dataset):
+        schema = infer_schema(dataset)
+        assert schema.is_valid(dataset)
+
+    def test_inferred_bounds_catch_new_out_of_range_values(self, dataset):
+        schema = infer_schema(dataset)
+        corrupted = dataset.replace_column(Column("amount", [5.0, 15.0, 9999.0, None]))
+        violations = schema.validate(corrupted)
+        assert any(v.kind == "range" for v in violations)
+
+    def test_inferred_domains_catch_new_levels(self, dataset):
+        schema = infer_schema(dataset)
+        corrupted = dataset.replace_column(
+            Column("district", ["north", "south", "MARS", "east"], ctype=ColumnType.CATEGORICAL)
+        )
+        violations = schema.validate(corrupted)
+        assert any(v.kind == "domain" for v in violations)
+
+    def test_inferred_nullability(self, dataset):
+        schema = infer_schema(dataset)
+        # amount had missing values -> nullable; district had none -> not nullable
+        assert schema.spec_for("amount").nullable
+        assert not schema.spec_for("district").nullable
+
+    def test_categorical_domains_can_be_disabled(self, dataset):
+        schema = infer_schema(dataset, categorical_domains=False)
+        assert schema.spec_for("district").allowed_values is None

@@ -1,0 +1,142 @@
+"""Unit tests for repro.tabular.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Column, ColumnType, Dataset
+from repro.tabular.stats import (
+    categorical_summary,
+    correlation_matrix,
+    correlation_ratio,
+    cramers_v,
+    describe,
+    entropy,
+    frequency_table,
+    gini_impurity,
+    mutual_information,
+    numeric_summary,
+    pearson,
+    spearman,
+)
+
+
+class TestSummaries:
+    def test_numeric_summary(self):
+        column = Column("x", [1.0, 2.0, 3.0, 4.0, None])
+        summary = numeric_summary(column)
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+
+    def test_numeric_summary_requires_numeric(self):
+        with pytest.raises(SchemaError):
+            numeric_summary(Column("c", ["a", "b"], ctype=ColumnType.CATEGORICAL))
+
+    def test_numeric_summary_all_missing(self):
+        summary = numeric_summary(Column("x", [None, None], ctype=ColumnType.NUMERIC))
+        assert summary["count"] == 0
+
+    def test_categorical_summary(self):
+        column = Column("c", ["a", "a", "b", None], ctype=ColumnType.CATEGORICAL)
+        summary = categorical_summary(column)
+        assert summary["mode"] == "a" and summary["mode_freq"] == 2
+        assert summary["n_distinct"] == 2
+
+    def test_describe_mixes_types(self, tiny_dataset):
+        description = describe(tiny_dataset)
+        assert "mean" in description["amount"]
+        assert "mode" in description["district"]
+
+
+class TestCorrelations:
+    def test_pearson_perfect(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert pearson(x, [2 * v for v in x]) == pytest.approx(1.0)
+        assert pearson(x, [-v for v in x]) == pytest.approx(-1.0)
+
+    def test_pearson_handles_missing_pairs(self):
+        assert not math.isnan(pearson([1, 2, 3, None], [2, 4, 6, 8]))
+
+    def test_pearson_constant_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pearson_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_spearman_monotonic(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        y = [v ** 3 for v in x]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_spearman_with_ties(self):
+        value = spearman([1, 2, 2, 3], [1, 2, 2, 3])
+        assert value == pytest.approx(1.0)
+
+    def test_correlation_matrix_symmetric(self, budget_dataset):
+        names, matrix = correlation_matrix(budget_dataset)
+        assert matrix.shape == (len(names), len(names))
+        assert np.allclose(matrix, matrix.T, equal_nan=True)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_correlation_matrix_unknown_method(self, budget_dataset):
+        with pytest.raises(SchemaError):
+            correlation_matrix(budget_dataset, method="kendall")
+
+
+class TestInformationMeasures:
+    def test_entropy_uniform_is_maximal(self):
+        uniform = Column("c", ["a", "b", "c", "d"], ctype=ColumnType.CATEGORICAL)
+        skewed = Column("c", ["a", "a", "a", "b"], ctype=ColumnType.CATEGORICAL)
+        assert entropy(uniform) > entropy(skewed)
+        assert entropy(uniform) == pytest.approx(2.0)
+
+    def test_entropy_single_value_is_zero(self):
+        assert entropy(Column("c", ["a", "a"], ctype=ColumnType.CATEGORICAL)) == 0.0
+
+    def test_mutual_information_identical_columns(self):
+        a = Column("a", ["x", "y", "x", "y"], ctype=ColumnType.CATEGORICAL)
+        b = Column("b", ["x", "y", "x", "y"], ctype=ColumnType.CATEGORICAL)
+        assert mutual_information(a, b) == pytest.approx(entropy(a))
+
+    def test_mutual_information_independent_columns(self):
+        a = Column("a", ["x", "x", "y", "y"], ctype=ColumnType.CATEGORICAL)
+        b = Column("b", ["p", "q", "p", "q"], ctype=ColumnType.CATEGORICAL)
+        assert mutual_information(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cramers_v_perfect_association(self):
+        a = Column("a", ["x", "x", "y", "y"] * 5, ctype=ColumnType.CATEGORICAL)
+        b = Column("b", ["p", "p", "q", "q"] * 5, ctype=ColumnType.CATEGORICAL)
+        assert cramers_v(a, b) == pytest.approx(1.0)
+
+    def test_cramers_v_single_level_is_zero(self):
+        a = Column("a", ["x", "x"], ctype=ColumnType.CATEGORICAL)
+        b = Column("b", ["p", "q"], ctype=ColumnType.CATEGORICAL)
+        assert cramers_v(a, b) == 0.0
+
+    def test_correlation_ratio_strong_group_effect(self):
+        groups = Column("g", ["a"] * 10 + ["b"] * 10, ctype=ColumnType.CATEGORICAL)
+        values = Column("v", [1.0] * 10 + [10.0] * 10)
+        assert correlation_ratio(groups, values) == pytest.approx(1.0)
+
+    def test_correlation_ratio_requires_numeric_values(self):
+        groups = Column("g", ["a", "b"], ctype=ColumnType.CATEGORICAL)
+        with pytest.raises(SchemaError):
+            correlation_ratio(groups, Column("v", ["x", "y"], ctype=ColumnType.CATEGORICAL))
+
+    def test_gini_impurity(self):
+        pure = Column("c", ["a", "a", "a"], ctype=ColumnType.CATEGORICAL)
+        mixed = Column("c", ["a", "b"], ctype=ColumnType.CATEGORICAL)
+        assert gini_impurity(pure) == 0.0
+        assert gini_impurity(mixed) == pytest.approx(0.5)
+
+    def test_frequency_table(self):
+        column = Column("c", ["a", "a", "b"], ctype=ColumnType.CATEGORICAL)
+        assert frequency_table(column) == {"a": 2.0, "b": 1.0}
+        relative = frequency_table(column, normalise=True)
+        assert relative["a"] == pytest.approx(2 / 3)
