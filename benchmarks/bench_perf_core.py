@@ -1,0 +1,153 @@
+"""BENCH-PERF-CORE — encoded-matrix execution core timings.
+
+Times the hot paths every experiment in the pipeline funnels through —
+dataset encoding, k-NN / naive-Bayes 3-fold cross-validation and k-means
+fitting — at n ∈ {500, 2000} rows, for both the vectorized batch path and the
+retained row-at-a-time prediction loop (forced by disabling the batch hooks).
+Note the row numbers are *not* pure seed timings: the row loop still benefits
+from the vectorized fitting, encoded fold slicing and vectorized metrics of
+the current code, so ``speedup`` isolates batch-vs-row prediction and slightly
+understates the end-to-end gain over the original seed implementation (the
+seed's full kNN CV at 2000 rows measured ~22.8s).  Results, including the
+speedups and an equality check of the predictions, are written to
+``BENCH_perf_core.json`` at the repository root so future PRs have a perf
+trajectory to compare against.
+
+Run with ``pytest benchmarks/bench_perf_core.py -s`` or directly with
+``python benchmarks/bench_perf_core.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.datasets import make_classification_dataset
+from repro.mining import CLASSIFIER_REGISTRY, KMeansClusterer, cross_validate
+from repro.tabular.encoded import EncodedDataset
+
+ROW_COUNTS = (500, 2000)
+CV_FOLDS = 3
+#: The acceptance bar: vectorized kNN cross-validation at 2000 rows must be at
+#: least this many times faster than the row-at-a-time path.
+MIN_KNN_SPEEDUP_AT_2000 = 5.0
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf_core.json"
+
+
+def _dataset(n_rows: int):
+    return make_classification_dataset(n_rows=n_rows, n_numeric=4, n_categorical=2, seed=0)
+
+
+def _legacy_factory(name: str):
+    """A classifier factory whose instances take the row-at-a-time prediction
+    loop by shadowing the batch hooks with no-ops (fitting, fold slicing and
+    metrics still run on the current vectorized infrastructure)."""
+
+    def factory():
+        model = CLASSIFIER_REGISTRY[name]()
+        model._predict_batch = lambda encoded: None
+        model._predict_proba_batch = lambda encoded: None
+        return model
+
+    return factory
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    results: dict = {"cv_folds": CV_FOLDS, "sizes": {}}
+    for n_rows in ROW_COUNTS:
+        dataset = _dataset(n_rows)
+        entry: dict = {}
+
+        # Encoding one dataset (all feature columns, both views) from scratch.
+        def encode_all():
+            encoded = EncodedDataset(dataset)
+            for column in dataset.feature_columns():
+                encoded.numeric_view(column.name) if column.is_numeric() else encoded.codes_view(column.name)
+            return encoded
+
+        _, entry["encode_s"] = _timed(encode_all)
+
+        for name in ("knn", "naive_bayes"):
+            fast, fast_s = _timed(lambda: cross_validate(CLASSIFIER_REGISTRY[name], dataset, k=CV_FOLDS, seed=0))
+            slow, slow_s = _timed(lambda: cross_validate(_legacy_factory(name), dataset, k=CV_FOLDS, seed=0))
+            identical = (
+                fast.accuracy == slow.accuracy
+                and fast.macro_f1 == slow.macro_f1
+                and fast.kappa == slow.kappa
+                and fast.fold_accuracies == slow.fold_accuracies
+            )
+            entry[name] = {
+                "batch_cv_s": fast_s,
+                "row_cv_s": slow_s,
+                "speedup": slow_s / fast_s if fast_s > 0 else float("inf"),
+                "accuracy": fast.accuracy,
+                "identical_to_row_path": identical,
+            }
+
+        _, kmeans_s = _timed(lambda: KMeansClusterer(k=4, seed=0).fit(dataset))
+        entry["kmeans_fit_s"] = kmeans_s
+        results["sizes"][str(n_rows)] = entry
+    return results
+
+
+def write_results(results: dict) -> Path:
+    _RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return _RESULT_PATH
+
+
+def _print_results(results: dict) -> None:
+    try:
+        from benchmarks.conftest import print_table
+    except ModuleNotFoundError:  # running as a plain script
+        def print_table(title, header, rows):
+            print(f"\n=== {title} ===")
+            print("  ".join(header))
+            for row in rows:
+                print("  ".join(f"{c:.3f}" if isinstance(c, float) else str(c) for c in row))
+
+    rows = []
+    for n_rows, entry in results["sizes"].items():
+        for algo in ("knn", "naive_bayes"):
+            stats = entry[algo]
+            rows.append(
+                [
+                    f"{algo}@{n_rows}",
+                    stats["batch_cv_s"],
+                    stats["row_cv_s"],
+                    stats["speedup"],
+                    "yes" if stats["identical_to_row_path"] else "NO",
+                ]
+            )
+    print_table(
+        "BENCH-PERF-CORE: 3-fold CV, batch vs row path",
+        ["workload", "batch_s", "row_s", "speedup", "identical"],
+        rows,
+    )
+
+
+def test_perf_core():
+    results = run_benchmark()
+    path = write_results(results)
+    _print_results(results)
+    for n_rows, entry in results["sizes"].items():
+        for algo in ("knn", "naive_bayes"):
+            assert entry[algo]["identical_to_row_path"], (
+                f"{algo}@{n_rows}: batch CV diverged from the row-at-a-time path"
+            )
+    at_2000 = results["sizes"]["2000"]["knn"]["speedup"]
+    assert at_2000 >= MIN_KNN_SPEEDUP_AT_2000, (
+        f"kNN CV speedup at 2000 rows is {at_2000:.1f}x, below the {MIN_KNN_SPEEDUP_AT_2000}x bar"
+    )
+    print(f"\nresults written to {path}")
+
+
+if __name__ == "__main__":
+    test_perf_core()

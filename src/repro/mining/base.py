@@ -1,4 +1,12 @@
-"""Common estimator interfaces for the mining algorithms."""
+"""Common estimator interfaces for the mining algorithms.
+
+Classifiers implement a two-tier prediction protocol: the mandatory
+row-at-a-time :meth:`Classifier._predict_row`, and an optional vectorized
+:meth:`Classifier._predict_batch` over the cached encoded-matrix view of the
+dataset (:mod:`repro.tabular.encoded`).  :meth:`Classifier.predict` tries the
+batch path first and transparently falls back to the row loop, so estimators
+opt into vectorization without changing the public API or its semantics.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ from typing import Any
 
 from repro.exceptions import MiningError
 from repro.tabular.dataset import Column, Dataset
+from repro.tabular.encoded import EncodedDataset, encode_dataset
 
 
 def check_fitted(estimator: "Classifier | Clusterer | Transformer") -> None:
@@ -43,6 +52,18 @@ class Classifier(ABC):
     def _predict_row(self, row: dict[str, Any]) -> Any:
         """Predict the class label of one row (mapping feature name → value)."""
 
+    def _predict_batch(self, encoded: EncodedDataset) -> Sequence[Any] | None:
+        """Vectorized prediction over an encoded dataset view.
+
+        Return ``None`` (the default) to fall back to the per-row path.
+        Implementations must produce exactly the labels the row path would.
+        """
+        return None
+
+    def _predict_proba_batch(self, encoded: EncodedDataset) -> list[dict[str, float]] | None:
+        """Vectorized counterpart of :meth:`predict_proba`; ``None`` → fall back."""
+        return None
+
     # -- public API --------------------------------------------------------------
 
     def fit(self, dataset: Dataset) -> "Classifier":
@@ -64,6 +85,9 @@ class Classifier(ABC):
     def predict(self, dataset: Dataset) -> list[Any]:
         """Predict a class label for every row of ``dataset``."""
         check_fitted(self)
+        batch = self._predict_batch(encode_dataset(dataset))
+        if batch is not None:
+            return list(batch)
         predictions = []
         for row in dataset.iter_rows():
             features_only = {name: row.get(name) for name in self.feature_names_}
@@ -72,6 +96,10 @@ class Classifier(ABC):
 
     def predict_proba(self, dataset: Dataset) -> list[dict[str, float]]:
         """Per-class probabilities; default is a degenerate distribution."""
+        check_fitted(self)
+        batch = self._predict_proba_batch(encode_dataset(dataset))
+        if batch is not None:
+            return batch
         predictions = self.predict(dataset)
         return [
             {cls: (1.0 if str(pred) == cls else 0.0) for cls in self.classes_}

@@ -31,6 +31,20 @@ class KMeansClusterer(Clusterer):
         self.inertia_: float = float("nan")
         self._encoder: DatasetEncoder | None = None
 
+    @staticmethod
+    def _squared_distances(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Pairwise squared euclidean distances, one centroid at a time.
+
+        Avoids materialising the ``(n, k, d)`` difference tensor of the naive
+        broadcast while keeping the exact ``((x - c) ** 2).sum()`` arithmetic
+        (the matmul form ``|x|^2 - 2 x·c + |c|^2`` would introduce
+        cancellation error and perturb seeded assignments near ties).
+        """
+        d2 = np.empty((X.shape[0], centroids.shape[0]))
+        for j in range(centroids.shape[0]):
+            d2[:, j] = ((X - centroids[j]) ** 2).sum(axis=1)
+        return d2
+
     def _seed_centroids(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         n = X.shape[0]
         centroids = [X[rng.integers(n)]]
@@ -56,8 +70,7 @@ class KMeansClusterer(Clusterer):
         centroids = self._seed_centroids(X, rng)
         labels = np.zeros(n, dtype=int)
         for _ in range(self.max_iterations):
-            distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-            labels = distances.argmin(axis=1)
+            labels = self._squared_distances(X, centroids).argmin(axis=1)
             new_centroids = centroids.copy()
             for cluster in range(self.k):
                 members = X[labels == cluster]
@@ -69,7 +82,7 @@ class KMeansClusterer(Clusterer):
                 break
         self.centroids_ = centroids
         self.labels_ = labels.tolist()
-        distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        distances = self._squared_distances(X, centroids)
         self.inertia_ = float(distances[np.arange(n), labels].sum())
         self._fitted = True
         return self
@@ -79,5 +92,4 @@ class KMeansClusterer(Clusterer):
         if not self._fitted or self.centroids_ is None or self._encoder is None:
             raise MiningError("KMeansClusterer must be fitted before predict")
         X = self._encoder.transform(dataset)
-        distances = ((X[:, None, :] - self.centroids_[None, :, :]) ** 2).sum(axis=2)
-        return distances.argmin(axis=1).astype(int).tolist()
+        return self._squared_distances(X, self.centroids_).argmin(axis=1).astype(int).tolist()

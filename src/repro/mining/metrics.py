@@ -29,20 +29,27 @@ def _check_lengths(truth: Sequence[Any], predicted: Sequence[Any]) -> None:
 def accuracy(truth: Sequence[Any], predicted: Sequence[Any]) -> float:
     """Fraction of exactly matching labels."""
     _check_lengths(truth, predicted)
-    t, p = _as_strings(truth), _as_strings(predicted)
-    return sum(1 for a, b in zip(t, p) if a == b) / len(t)
+    t = np.asarray(_as_strings(truth))
+    p = np.asarray(_as_strings(predicted))
+    return int(np.count_nonzero(t == p)) / len(t)
 
 
 def confusion_matrix(truth: Sequence[Any], predicted: Sequence[Any]) -> tuple[list[str], np.ndarray]:
-    """Return (ordered labels, matrix) where rows are truth and columns predictions."""
+    """Return (ordered labels, matrix) where rows are truth and columns predictions.
+
+    Counting is vectorized: labels are codified against the sorted label
+    vocabulary and tallied with one ``bincount`` over the flattened (truth,
+    predicted) code pairs.
+    """
     _check_lengths(truth, predicted)
-    t, p = _as_strings(truth), _as_strings(predicted)
-    labels = sorted(set(t) | set(p))
-    index = {label: i for i, label in enumerate(labels)}
-    matrix = np.zeros((len(labels), len(labels)), dtype=int)
-    for a, b in zip(t, p):
-        matrix[index[a], index[b]] += 1
-    return labels, matrix
+    t = np.asarray(_as_strings(truth))
+    p = np.asarray(_as_strings(predicted))
+    labels_array = np.unique(np.concatenate([t, p]))
+    n_labels = labels_array.shape[0]
+    t_codes = np.searchsorted(labels_array, t)
+    p_codes = np.searchsorted(labels_array, p)
+    matrix = np.bincount(t_codes * n_labels + p_codes, minlength=n_labels * n_labels)
+    return labels_array.tolist(), matrix.reshape(n_labels, n_labels).astype(int)
 
 
 def precision_recall_f1(truth: Sequence[Any], predicted: Sequence[Any]) -> dict[str, dict[str, float]]:

@@ -136,10 +136,17 @@ class DatasetEncoder:
         return self
 
     def transform(self, dataset: Dataset) -> np.ndarray:
-        """Encode ``dataset`` using the fitted parameters."""
+        """Encode ``dataset`` using the fitted parameters.
+
+        The one-hot blocks are filled by integer-code indexing over the
+        dataset's cached encoded view rather than a per-cell Python loop.
+        """
+        from repro.tabular.encoded import encode_dataset, map_codes_to_index
+
         if not self._fitted:
             raise MiningError("DatasetEncoder must be fitted before transform")
         n = dataset.n_rows
+        encoded = encode_dataset(dataset)
         blocks: list[np.ndarray] = []
         for name in self._numeric:
             if name in dataset:
@@ -153,14 +160,12 @@ class DatasetEncoder:
         for name, levels in self._categorical.items():
             block = np.zeros((n, len(levels)))
             if name in dataset:
-                values = dataset[name].tolist()
-                index = {level: j for j, level in enumerate(levels)}
-                for i, value in enumerate(values):
-                    if is_missing_value(value):
-                        continue
-                    j = index.get(str(value))
-                    if j is not None:
-                        block[i, j] = 1.0
+                codes, vocabulary, _ = encoded.codes_view(name)
+                if vocabulary:
+                    index = {level: j for j, level in enumerate(levels)}
+                    mapped = map_codes_to_index(codes, vocabulary, index)
+                    rows = np.nonzero(mapped >= 0)[0]
+                    block[rows, mapped[rows]] = 1.0
             blocks.append(block)
         return np.hstack(blocks) if blocks else np.empty((n, 0))
 

@@ -12,6 +12,7 @@ import numpy as np
 from repro.exceptions import MiningError
 from repro.mining.metrics import classification_report
 from repro.tabular.dataset import Dataset, is_missing_value
+from repro.tabular.encoded import encode_dataset
 
 
 def train_test_split(
@@ -128,13 +129,17 @@ def cross_validate(
         raise MiningError("not enough labelled rows for the requested number of folds")
     working = dataset.take(labelled)
 
+    # Encode the working dataset once; every fold below is materialised by
+    # slicing the cached encoded arrays with an index array instead of
+    # re-encoding (or re-coercing) the fold's columns from Python objects.
+    encoded = encode_dataset(working)
     folds = stratified_kfold(working, k=k, seed=seed)
     truths: list[str] = []
     predictions: list[str] = []
     fold_accuracies: list[float] = []
     algorithm_name = "unknown"
     for train_idx, test_idx in folds:
-        train, test = working.take(train_idx), working.take(test_idx)
+        train, test = encoded.take(train_idx), encoded.take(test_idx)
         model = classifier_factory()
         algorithm_name = getattr(model, "name", type(model).__name__)
         model.fit(train)

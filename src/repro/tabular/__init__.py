@@ -10,6 +10,7 @@ The central classes are :class:`~repro.tabular.dataset.Column` and
 """
 
 from repro.tabular.dataset import Column, Dataset, ColumnType, ColumnRole
+from repro.tabular.encoded import EncodedDataset, encode_dataset
 from repro.tabular.schema import ColumnSpec, Schema, infer_schema
 from repro.tabular.io_csv import read_csv, read_csv_text, write_csv, write_csv_text
 from repro.tabular.io_json import read_json_records, write_json_records
@@ -22,6 +23,8 @@ __all__ = [
     "Dataset",
     "ColumnType",
     "ColumnRole",
+    "EncodedDataset",
+    "encode_dataset",
     "ColumnSpec",
     "Schema",
     "infer_schema",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import copy as _copy
 import math
 import random
+from collections import Counter
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import Any
 
@@ -161,7 +162,7 @@ class Column:
         One of :class:`ColumnRole`; defaults to ``feature``.
     """
 
-    __slots__ = ("name", "ctype", "role", "_values")
+    __slots__ = ("name", "ctype", "role", "_values", "_missing_cache")
 
     def __init__(
         self,
@@ -187,6 +188,7 @@ class Column:
             self._values = np.asarray(coerced, dtype=float)
         else:
             self._values = np.asarray(coerced, dtype=object)
+        self._missing_cache: np.ndarray | None = None
 
     # -- basic protocol ----------------------------------------------------
 
@@ -231,10 +233,19 @@ class Column:
         return self.ctype == ColumnType.NUMERIC
 
     def missing_mask(self) -> np.ndarray:
-        """Boolean mask that is ``True`` where the cell is missing."""
+        """Boolean mask that is ``True`` where the cell is missing.
+
+        For object-dtype columns the per-cell scan is computed once and cached
+        (column values are immutable by convention: every dataset operation
+        returns new columns).  Callers must not mutate the returned array.
+        """
         if self.is_numeric():
             return np.isnan(self._values)
-        return np.asarray([is_missing_value(v) for v in self._values.tolist()], dtype=bool)
+        if self._missing_cache is None:
+            self._missing_cache = np.asarray(
+                [is_missing_value(v) for v in self._values.tolist()], dtype=bool
+            )
+        return self._missing_cache
 
     def n_missing(self) -> int:
         return int(self.missing_mask().sum())
@@ -242,7 +253,9 @@ class Column:
     def non_missing(self) -> list[Any]:
         """Return the non-missing values, preserving order."""
         mask = self.missing_mask()
-        return [v for v, m in zip(self._values.tolist(), mask) if not m]
+        if not mask.any():
+            return self._values.tolist()
+        return self._values[~mask].tolist()
 
     def distinct(self) -> list[Any]:
         """Return the distinct non-missing values in first-seen order."""
@@ -253,10 +266,7 @@ class Column:
 
     def value_counts(self) -> dict[Any, int]:
         """Return a mapping value → frequency over non-missing cells."""
-        counts: dict[Any, int] = {}
-        for value in self.non_missing():
-            counts[value] = counts.get(value, 0) + 1
-        return counts
+        return dict(Counter(self.non_missing()))
 
     # -- construction helpers ----------------------------------------------
 
@@ -266,6 +276,9 @@ class Column:
         clone.ctype = self.ctype
         clone.role = self.role
         clone._values = self._values.copy()
+        # The values array is copied to allow independent mutation, so the
+        # cached mask (which aliases this column's state) must not be carried.
+        clone._missing_cache = None
         return clone
 
     def with_values(self, values: Iterable[Any]) -> "Column":
@@ -274,11 +287,15 @@ class Column:
 
     def take(self, indices: Sequence[int]) -> "Column":
         """Return a new column containing the rows at ``indices`` (in order)."""
+        index_array = np.asarray(indices, dtype=int)
         clone = Column.__new__(Column)
         clone.name = self.name
         clone.ctype = self.ctype
         clone.role = self.role
-        clone._values = self._values[np.asarray(list(indices), dtype=int)]
+        clone._values = self._values[index_array]
+        clone._missing_cache = (
+            self._missing_cache[index_array] if self._missing_cache is not None else None
+        )
         return clone
 
 
@@ -526,8 +543,8 @@ class Dataset:
 
     def take(self, indices: Sequence[int]) -> "Dataset":
         """Return a new dataset containing the rows at ``indices`` (in order)."""
-        indices = list(indices)
-        return Dataset([c.take(indices) for c in self.columns], name=self.name)
+        index_array = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices, dtype=int)
+        return Dataset([c.take(index_array) for c in self.columns], name=self.name)
 
     def head(self, n: int = 5) -> "Dataset":
         """Return the first ``n`` rows."""
@@ -564,8 +581,21 @@ class Dataset:
             raise SchemaError("cannot concatenate datasets with different columns")
         columns = []
         for col in self.columns:
-            merged = col.tolist() + other[col.name].tolist()
-            columns.append(Column(col.name, merged, ctype=col.ctype, role=col.role))
+            other_col = other[col.name]
+            if other_col.ctype == col.ctype:
+                # Both sides already hold canonical values for this type, so the
+                # underlying arrays can be joined directly without re-coercing
+                # every cell through the Column constructor.
+                merged = Column.__new__(Column)
+                merged.name = col.name
+                merged.ctype = col.ctype
+                merged.role = col.role
+                merged._values = np.concatenate([col.values, other_col.values])
+                merged._missing_cache = None
+                columns.append(merged)
+            else:
+                values = col.tolist() + other_col.tolist()
+                columns.append(Column(col.name, values, ctype=col.ctype, role=col.role))
         return Dataset(columns, name=self.name)
 
     def copy(self, name: str | None = None) -> "Dataset":

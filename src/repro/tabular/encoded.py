@@ -1,0 +1,200 @@
+"""Encoded-matrix views of a :class:`~repro.tabular.dataset.Dataset`.
+
+This module is the performance core of the library.  A :class:`Dataset` stores
+columns as numpy arrays, but most of the mining hot paths (k-NN distances,
+naive Bayes likelihoods, fold slicing inside cross-validation) historically
+walked those columns cell-by-cell through Python row dictionaries.  An
+:class:`EncodedDataset` lazily converts each column — once — into structures
+the vectorized paths can broadcast over:
+
+``numeric view``
+    A ``float64`` array with ``nan`` marking missing *or unparseable* cells,
+    plus a boolean missing mask.  Any column can be viewed numerically; cells
+    that cannot be interpreted as floats are treated as missing, which matches
+    the per-cell ``try: float(v) except: skip`` behaviour of the row-at-a-time
+    estimators exactly.
+
+``categorical view``
+    An ``int64`` code array (``-1`` marking missing) together with the
+    vocabulary of distinct string values in first-seen order and its inverse
+    index.  Codes compare equal exactly when the row-at-a-time estimators'
+    ``str(a) == str(b)`` comparison would.
+
+Encodings are cached on the dataset instance via :func:`encode_dataset`.  This
+is safe because every ``Dataset``/``Column`` operation returns a new object;
+nothing in the library mutates column arrays in place.
+
+Fold slicing is supported without re-encoding: :meth:`EncodedDataset.take`
+returns a new dataset whose encoded views are produced by slicing the parent's
+cached arrays with an index array (categorical vocabularies are re-restricted
+to the levels present in the slice, preserving first-seen order, so per-fold
+statistics remain identical to encoding the slice from scratch).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tabular.dataset import Dataset
+
+#: Attribute name used to cache the encoding on a dataset instance.
+_CACHE_ATTR = "_encoded_cache"
+
+
+class EncodedDataset:
+    """Lazy per-column numeric/categorical encodings of one dataset.
+
+    Instances are created through :func:`encode_dataset` (which caches them on
+    the dataset) or :meth:`take` (which derives fold views by index slicing).
+    Views for column names absent from the dataset are materialised as
+    all-missing, mirroring ``row.get(name) -> None`` in the row path.
+    """
+
+    __slots__ = ("dataset", "_numeric", "_categorical", "_parent", "_parent_indices")
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        _parent: "EncodedDataset | None" = None,
+        _parent_indices: np.ndarray | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self._numeric: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._categorical: dict[str, tuple[np.ndarray, list[str], dict[str, int]]] = {}
+        self._parent = _parent
+        self._parent_indices = _parent_indices
+
+    @property
+    def n_rows(self) -> int:
+        return self.dataset.n_rows
+
+    # -- numeric view --------------------------------------------------------
+
+    def numeric_view(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(values, missing)`` float64/bool arrays for column ``name``."""
+        cached = self._numeric.get(name)
+        if cached is not None:
+            return cached
+        if name not in self.dataset:
+            n = self.n_rows
+            view = (np.full(n, np.nan), np.ones(n, dtype=bool))
+        elif self._parent is not None:
+            values, missing = self._parent.numeric_view(name)
+            view = (values[self._parent_indices], missing[self._parent_indices])
+        else:
+            view = self._encode_numeric(name)
+        self._numeric[name] = view
+        return view
+
+    def _encode_numeric(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        column = self.dataset[name]
+        if column.is_numeric():
+            values = column.values.astype(float, copy=False)
+            return values, np.isnan(values)
+        missing = column.missing_mask().copy()
+        values = np.full(len(column), np.nan)
+        for i, value in enumerate(column.tolist()):
+            if missing[i]:
+                continue
+            try:
+                values[i] = float(value)
+            except (TypeError, ValueError):
+                missing[i] = True
+        return values, missing
+
+    # -- categorical view ----------------------------------------------------
+
+    def codes_view(self, name: str) -> tuple[np.ndarray, list[str], dict[str, int]]:
+        """Return ``(codes, vocabulary, index)`` for column ``name``.
+
+        ``codes`` is an int64 array with ``-1`` for missing cells;
+        ``vocabulary[codes[i]]`` is ``str(raw_value)`` and ``index`` inverts it.
+        """
+        cached = self._categorical.get(name)
+        if cached is not None:
+            return cached
+        if name not in self.dataset:
+            view = (np.full(self.n_rows, -1, dtype=np.int64), [], {})
+        elif self._parent is not None:
+            view = self._slice_codes(name)
+        else:
+            view = self._encode_categorical(name)
+        self._categorical[name] = view
+        return view
+
+    def _encode_categorical(self, name: str) -> tuple[np.ndarray, list[str], dict[str, int]]:
+        column = self.dataset[name]
+        missing = column.missing_mask()
+        codes = np.full(len(column), -1, dtype=np.int64)
+        index: dict[str, int] = {}
+        for i, value in enumerate(column.tolist()):
+            if missing[i]:
+                continue
+            codes[i] = index.setdefault(str(value), len(index))
+        return codes, list(index), index
+
+    def _slice_codes(self, name: str) -> tuple[np.ndarray, list[str], dict[str, int]]:
+        parent_codes, parent_vocab, _ = self._parent.codes_view(name)
+        codes = parent_codes[self._parent_indices]
+        present = codes[codes >= 0]
+        if present.size == 0:
+            return np.full(codes.shape, -1, dtype=np.int64), [], {}
+        # Restrict the vocabulary to the levels present in this slice, in
+        # first-seen order, so per-fold category statistics match what a fresh
+        # encoding of the slice would produce.
+        unique, first_position = np.unique(present, return_index=True)
+        ordered = unique[np.argsort(first_position, kind="stable")]
+        remap = np.full(len(parent_vocab), -1, dtype=np.int64)
+        remap[ordered] = np.arange(ordered.size)
+        sliced = np.where(codes >= 0, remap[np.clip(codes, 0, None)], -1)
+        vocabulary = [parent_vocab[code] for code in ordered.tolist()]
+        return sliced, vocabulary, {level: i for i, level in enumerate(vocabulary)}
+
+    # -- fold slicing --------------------------------------------------------
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> Dataset:
+        """Return ``dataset.take(indices)`` with its encoding pre-wired.
+
+        The returned dataset carries an :class:`EncodedDataset` whose views are
+        computed by slicing this encoding's cached arrays, so repeated fold
+        extraction (as in cross-validation) never re-encodes columns from
+        Python objects.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        subset = self.dataset.take(indices)
+        encoded = EncodedDataset(subset, _parent=self, _parent_indices=indices)
+        setattr(subset, _CACHE_ATTR, encoded)
+        return subset
+
+
+def map_codes_to_index(
+    codes: np.ndarray,
+    vocabulary: Sequence[str],
+    index: dict[str, int],
+    unseen_code: int = -1,
+) -> np.ndarray:
+    """Translate ``codes`` (against ``vocabulary``) into another vocabulary's codes.
+
+    Levels absent from ``index`` map to ``unseen_code``; missing cells (``-1``)
+    stay ``-1``.  This is the shared remapping step used when comparing a test
+    dataset's categories against the vocabulary a model was fitted on.
+    """
+    if not vocabulary:
+        return codes
+    remap = np.asarray([index.get(level, unseen_code) for level in vocabulary], dtype=np.int64)
+    return np.where(codes >= 0, remap[np.clip(codes, 0, None)], -1)
+
+
+def encode_dataset(dataset: Dataset) -> EncodedDataset:
+    """Return the cached :class:`EncodedDataset` for ``dataset``, creating it lazily."""
+    encoded = getattr(dataset, _CACHE_ATTR, None)
+    if encoded is not None and encoded.dataset is dataset:
+        return encoded
+    encoded = EncodedDataset(dataset)
+    try:
+        setattr(dataset, _CACHE_ATTR, encoded)
+    except AttributeError:  # pragma: no cover - datasets are plain objects
+        pass
+    return encoded

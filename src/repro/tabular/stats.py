@@ -31,14 +31,15 @@ def numeric_summary(column: Column) -> dict[str, float]:
         return {key: float("nan") for key in ("count", "mean", "std", "min", "q1", "median", "q3", "max")} | {
             "count": 0.0
         }
+    q1, median, q3 = np.percentile(present, [25, 50, 75])
     return {
         "count": float(present.size),
         "mean": float(present.mean()),
         "std": float(present.std()),
         "min": float(present.min()),
-        "q1": float(np.percentile(present, 25)),
-        "median": float(np.percentile(present, 50)),
-        "q3": float(np.percentile(present, 75)),
+        "q1": float(q1),
+        "median": float(median),
+        "q3": float(q3),
         "max": float(present.max()),
     }
 
