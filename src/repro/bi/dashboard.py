@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.bi.kpi import KPI, evaluate_kpis
 from repro.bi.olap import Cube

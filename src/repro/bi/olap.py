@@ -9,7 +9,7 @@ ordinary datasets so their results can be reported, mined or shared as LOD.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import OLAPError

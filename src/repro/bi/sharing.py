@@ -16,7 +16,7 @@ from repro.core.advisor import Recommendation
 from repro.lod.graph import Graph
 from repro.lod.publish import publish_dataset, publish_recommendation
 from repro.lod.terms import IRI, Literal
-from repro.lod.vocabulary import DCTERMS, OPENBI, RDF, RDFS
+from repro.lod.vocabulary import DCTERMS, OPENBI, RDF
 
 
 def share_report_as_lod(report: Report, base_iri: str = "http://openbi.example.org/data/", graph: Graph | None = None) -> Graph:

@@ -130,7 +130,7 @@ class Advisor:
         runner_up = ranking[1] if len(ranking) > 1 else None
         rationale = (
             f"The source's weakest data quality criteria are {problems}. "
-            f"On knowledge-base experiments with similar quality profiles, "
+            "On knowledge-base experiments with similar quality profiles, "
             f"{best_algorithm} achieved the best expected {self.metric} ({best_score:.3f})"
         )
         if runner_up is not None:

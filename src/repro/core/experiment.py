@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 import time
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.exceptions import ExperimentError

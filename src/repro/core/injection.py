@@ -121,7 +121,7 @@ class NoiseInjector(Injector):
                 if len(levels) > 1:
                     for i, value in enumerate(values):
                         if not is_missing_value(value) and rng.random() < severity:
-                            alternatives = [l for l in levels if l != str(value)]
+                            alternatives = [level for level in levels if level != str(value)]
                             values[i] = alternatives[int(rng.integers(len(alternatives)))]
             columns.append(Column(column.name, values, ctype=column.ctype, role=column.role))
         return Dataset(columns, name=dataset.name)
@@ -145,7 +145,7 @@ class ClassNoiseInjector(Injector):
         values = target.tolist()
         for i, value in enumerate(values):
             if not is_missing_value(value) and rng.random() < severity:
-                alternatives = [l for l in levels if l != str(value)]
+                alternatives = [level for level in levels if level != str(value)]
                 values[i] = alternatives[int(rng.integers(len(alternatives)))]
         return result.replace_column(Column(target.name, values, ctype=target.ctype, role=target.role))
 

@@ -7,7 +7,7 @@ includes the data quality criteria to assess." (paper, §3.1, step 1)
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import ExperimentError
 from repro.quality.profile import DEFAULT_CRITERIA

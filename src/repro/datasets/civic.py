@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import SchemaError
 from repro.lod.graph import Graph
-from repro.lod.terms import IRI, Literal
+from repro.lod.terms import Literal
 from repro.lod.vocabulary import DCTERMS, Namespace, RDF, RDFS
-from repro.tabular.dataset import Column, ColumnRole, ColumnType, Dataset, is_missing_value
+from repro.tabular.dataset import ColumnRole, ColumnType, Dataset, is_missing_value
 
 #: Namespace used for all civic LOD resources.
 CIVIC = Namespace("http://openbi.example.org/civic/")

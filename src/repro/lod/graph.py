@@ -5,7 +5,6 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from typing import Any
 
-from repro.exceptions import LODError
 from repro.lod.terms import IRI, BNode, Literal, Object, Subject, Triple, coerce_object
 from repro.lod.triples import TripleStore
 from repro.lod.vocabulary import DEFAULT_PREFIXES, Namespace, RDF, RDFS

@@ -15,7 +15,7 @@ from typing import Any, Union
 
 from repro.exceptions import LODError
 from repro.lod.graph import Graph
-from repro.lod.terms import IRI, BNode, Literal, Object, Subject, Triple
+from repro.lod.terms import IRI, BNode, Literal
 
 
 @dataclass(frozen=True, slots=True)

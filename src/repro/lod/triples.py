@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro.exceptions import LODError
-from repro.lod.terms import IRI, BNode, Literal, Object, Predicate, Subject, Triple
+from repro.lod.terms import Object, Predicate, Subject, Triple
 
 
 class TripleStore:

@@ -40,7 +40,7 @@ def dataset_to_transactions(dataset: Dataset, columns: Sequence[str] | None = No
     for name in columns:
         if working[name].is_numeric():
             try:
-                working = discretize(working, name, bins=bins, labels=[f"low", f"mid", f"high", f"very_high"][:bins] if bins <= 4 else None)
+                working = discretize(working, name, bins=bins, labels=["low", "mid", "high", "very_high"][:bins] if bins <= 4 else None)
             except Exception:
                 continue
     transactions: list[set[str]] = []

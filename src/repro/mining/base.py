@@ -60,6 +60,17 @@ class Classifier(ABC):
         """
         return None
 
+    def _uses_base_impl(self, owner: type, *method_names: str) -> bool:
+        """True when this instance inherits ``owner``'s implementation of every
+        named method.
+
+        Batch/vectorized paths replicate specific row-at-a-time reference
+        methods; a subclass that overrides any of them must get its customised
+        behaviour, so vectorized shortcuts guard on this before engaging.
+        """
+        cls = type(self)
+        return all(getattr(cls, name) is getattr(owner, name) for name in method_names)
+
     def _predict_proba_batch(self, encoded: EncodedDataset) -> list[dict[str, float]] | None:
         """Vectorized counterpart of :meth:`predict_proba`; ``None`` → fall back."""
         return None

@@ -4,6 +4,14 @@ Ensembles are the natural "extension" experiment for the framework: they trade
 the interpretability the paper's non-expert users need for robustness to noisy
 and incomplete data, so the knowledge base can learn *when* that trade-off is
 worth recommending.
+
+Vote aggregation runs on the encoded-matrix views: every committee member is
+asked for its vectorized ``_predict_batch`` over the shared encoding of the
+test dataset (falling back to that member's row loop when it has no batch
+path), and the per-row vote tally is a single ``np.add.at``/``bincount``-style
+accumulation instead of ``n_rows`` Counter objects.  The Counter loop is kept
+as the reference path; the batch tally reproduces its majority/tie-break
+semantics (alphabetically first among the most-voted labels) exactly.
 """
 
 from __future__ import annotations
@@ -13,10 +21,13 @@ from collections import Counter
 from collections.abc import Callable
 from typing import Any
 
+import numpy as np
+
 from repro.exceptions import MiningError
 from repro.mining.base import Classifier, check_fitted
 from repro.mining.tree import DecisionTreeClassifier
 from repro.tabular.dataset import Column, ColumnRole, Dataset, is_missing_value
+from repro.tabular.encoded import EncodedDataset, encode_dataset
 
 
 class BaggingClassifier(Classifier):
@@ -89,7 +100,7 @@ class BaggingClassifier(Classifier):
             self.estimator_features_.append(member_features)
 
     def _member_votes(self, dataset: Dataset) -> list[list[str]]:
-        """Return per-row lists of member predictions."""
+        """Return per-row lists of member predictions (reference vote path)."""
         per_member = [member.predict(dataset) for member in self.estimators_]
         return [
             [str(per_member[m][i]) for m in range(len(self.estimators_))]
@@ -99,8 +110,82 @@ class BaggingClassifier(Classifier):
     def _predict_row(self, row: dict[str, Any]) -> str:  # pragma: no cover - unused path
         raise MiningError("BaggingClassifier predicts dataset-wise; use predict()")
 
+    # -- vectorized vote tally -------------------------------------------------
+
+    def _vote_matrix(self, encoded: EncodedDataset) -> tuple[np.ndarray, list[str]] | None:
+        """Tally member votes into an ``(n_rows, n_labels)`` count matrix.
+
+        Each member contributes its vectorized ``_predict_batch`` over the
+        shared encoding when it has one, falling back to that member's full
+        ``predict`` (the row loop) otherwise.  Labels are collected into a
+        vocabulary sorted at the end so that ``argmax`` reproduces the Counter
+        path's alphabetical tie-break.
+        """
+        if not self.estimators_ or not self._uses_base_impl(BaggingClassifier, "_member_votes"):
+            return None
+        n = encoded.n_rows
+        label_index: dict[str, int] = {}
+        member_codes: list[np.ndarray] = []
+        for member in self.estimators_:
+            labels = member._predict_batch(encoded)
+            if labels is None:
+                labels = member.predict(encoded.dataset)
+            codes = np.fromiter(
+                (label_index.setdefault(str(label), len(label_index)) for label in labels),
+                dtype=np.int64,
+                count=n,
+            )
+            member_codes.append(codes)
+        vocabulary = sorted(label_index)
+        # Remap insertion-order codes onto the sorted vocabulary.
+        sorted_position = {label: i for i, label in enumerate(vocabulary)}
+        remap = np.empty(len(label_index), dtype=np.int64)
+        for label, code in label_index.items():
+            remap[code] = sorted_position[label]
+        votes = np.zeros((n, len(vocabulary)), dtype=np.int64)
+        rows = np.arange(n)
+        for codes in member_codes:
+            np.add.at(votes, (rows, remap[codes]), 1)
+        return votes, vocabulary
+
+    def _predict_batch(self, encoded: EncodedDataset) -> list[str] | None:
+        tally = self._vote_matrix(encoded)
+        if tally is None:
+            return None
+        votes, vocabulary = tally
+        # argmax picks the first maximum; the vocabulary is sorted, matching
+        # the max(sorted(counts), key=counts.get) tie-break of the vote loop.
+        return [vocabulary[c] for c in votes.argmax(axis=1).tolist()]
+
+    def _predict_proba_batch(self, encoded: EncodedDataset) -> list[dict[str, float]] | None:
+        tally = self._vote_matrix(encoded)
+        if tally is None:
+            return None
+        votes, vocabulary = tally
+        vocabulary_position = {label: i for i, label in enumerate(vocabulary)}
+        position = {
+            cls: vocabulary_position[cls] for cls in self.classes_ if cls in vocabulary_position
+        }
+        totals = votes.sum(axis=1)
+        results = []
+        for i, total in enumerate(totals.tolist()):
+            total = total or 1
+            row = votes[i]
+            results.append(
+                {
+                    cls: (int(row[position[cls]]) if cls in position else 0) / total
+                    for cls in self.classes_
+                }
+            )
+        return results
+
+    # -- public API ------------------------------------------------------------
+
     def predict(self, dataset: Dataset) -> list[str]:
         check_fitted(self)
+        batch = self._predict_batch(encode_dataset(dataset))
+        if batch is not None:
+            return batch
         predictions = []
         for votes in self._member_votes(dataset):
             counts = Counter(votes)
@@ -109,6 +194,9 @@ class BaggingClassifier(Classifier):
 
     def predict_proba(self, dataset: Dataset) -> list[dict[str, float]]:
         check_fitted(self)
+        batch = self._predict_proba_batch(encode_dataset(dataset))
+        if batch is not None:
+            return batch
         results = []
         for votes in self._member_votes(dataset):
             counts = Counter(votes)

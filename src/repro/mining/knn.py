@@ -151,10 +151,7 @@ class KNNClassifier(Classifier):
     def _batch_supported(self) -> bool:
         """The batch path replicates the base row loop; bypass it if a subclass
         customised the per-row machinery."""
-        return (
-            type(self)._distance is KNNClassifier._distance
-            and type(self)._predict_row is KNNClassifier._predict_row
-        )
+        return self._uses_base_impl(KNNClassifier, "_distance", "_predict_row")
 
     def _squared_distances(self, encoded: EncodedDataset, test_slice: slice) -> np.ndarray:
         """Squared HEOM distances between a chunk of test rows and all training rows.

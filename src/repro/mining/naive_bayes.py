@@ -17,7 +17,7 @@ so batch predictions replicate the row path exactly.
 from __future__ import annotations
 
 import math
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Any
 
 import numpy as np
@@ -55,7 +55,7 @@ class NaiveBayesClassifier(Classifier):
 
     def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
         labels = [None if is_missing_value(v) else str(v) for v in target.tolist()]
-        class_counts = Counter(l for l in labels if l is not None)
+        class_counts = Counter(label for label in labels if label is not None)
         total = sum(class_counts.values())
         self._priors = {cls: count / total for cls, count in class_counts.items()}
 
@@ -139,10 +139,7 @@ class NaiveBayesClassifier(Classifier):
     # -- vectorized path -------------------------------------------------------
 
     def _batch_supported(self) -> bool:
-        return (
-            type(self)._log_likelihood is NaiveBayesClassifier._log_likelihood
-            and type(self)._predict_row is NaiveBayesClassifier._predict_row
-        )
+        return self._uses_base_impl(NaiveBayesClassifier, "_log_likelihood", "_predict_row")
 
     def _log_likelihood_matrix(self, encoded: EncodedDataset, classes: list[str]) -> np.ndarray:
         """Column ``i`` holds the log-likelihood of ``classes[i]`` for every row.

@@ -16,8 +16,8 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import MiningError
-from repro.tabular.dataset import Column, ColumnRole, ColumnType, Dataset, is_missing_value
-from repro.tabular.stats import entropy as column_entropy, mutual_information
+from repro.tabular.dataset import Column, ColumnRole, Dataset, is_missing_value
+from repro.tabular.stats import mutual_information
 
 
 # ---------------------------------------------------------------------------

@@ -7,14 +7,13 @@ also be used for tree-based feature relevance (which attributes were split on).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 from repro.exceptions import MiningError
-from repro.tabular.dataset import Column, ColumnRole, Dataset, is_missing_value
+from repro.tabular.dataset import ColumnRole, Dataset, is_missing_value
 
 
 @dataclass

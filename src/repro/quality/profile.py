@@ -15,7 +15,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import DataQualityError
-from repro.quality.criteria import CRITERIA_REGISTRY, Criterion, CriterionMeasure, get_criterion
+from repro.quality.criteria import Criterion, CriterionMeasure, get_criterion
 from repro.tabular.dataset import Dataset
 
 #: Criteria measured by default, in a stable order (this is also the order of

@@ -187,6 +187,29 @@ def map_codes_to_index(
     return np.where(codes >= 0, remap[np.clip(codes, 0, None)], -1)
 
 
+def merge_missing_level(
+    codes: np.ndarray,
+    vocabulary: Sequence[str],
+    missing_label: str = "<missing>",
+) -> tuple[np.ndarray, list[str]]:
+    """Fold missing cells (``-1`` codes) into an explicit ``missing_label`` level.
+
+    Returns ``(codes, levels)`` where every missing cell carries the code of
+    ``missing_label`` — reusing the existing level when the vocabulary already
+    contains that literal string, otherwise appending it.  This mirrors the
+    row-at-a-time miners that bucket missing cells under the same dictionary
+    key as a literal ``missing_label`` value (decision-tree categorical splits,
+    OneR/Prism discretisation).
+    """
+    levels = list(vocabulary)
+    try:
+        missing_code = levels.index(missing_label)
+    except ValueError:
+        levels.append(missing_label)
+        missing_code = len(levels) - 1
+    return np.where(codes >= 0, codes, missing_code), levels
+
+
 def encode_dataset(dataset: Dataset) -> EncodedDataset:
     """Return the cached :class:`EncodedDataset` for ``dataset``, creating it lazily."""
     encoded = getattr(dataset, _CACHE_ATTR, None)

@@ -14,7 +14,7 @@ from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 from repro.exceptions import SchemaError
-from repro.tabular.dataset import Column, Dataset, MISSING_TOKENS, is_missing_value
+from repro.tabular.dataset import Dataset, MISSING_TOKENS, is_missing_value
 
 
 def _normalise_cell(cell: str | None) -> str | None:

@@ -8,7 +8,6 @@ violations that the consistency data quality criterion
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 

@@ -14,7 +14,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import SchemaError
-from repro.tabular.dataset import Column, ColumnType, Dataset, is_missing_value
+from repro.tabular.dataset import Column, Dataset, is_missing_value
 
 
 # ---------------------------------------------------------------------------

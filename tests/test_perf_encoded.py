@@ -15,11 +15,23 @@ from hypothesis import given, settings, strategies as st
 from repro.core.injection import MissingValuesInjector
 from repro.datasets import make_classification_dataset
 from repro.exceptions import MiningError
-from repro.mining import CLASSIFIER_REGISTRY, KNNClassifier, NaiveBayesClassifier
+from repro.mining import (
+    CLASSIFIER_REGISTRY,
+    BaggingClassifier,
+    DecisionTreeClassifier,
+    KNNClassifier,
+    NaiveBayesClassifier,
+    OneRClassifier,
+    PrismClassifier,
+    RandomSubspaceForest,
+    cross_validate,
+)
 from repro.tabular.dataset import Column, ColumnType, Dataset
-from repro.tabular.encoded import EncodedDataset, encode_dataset
+from repro.tabular.encoded import EncodedDataset, encode_dataset, merge_missing_level
 
 ALL_CLASSIFIERS = sorted(CLASSIFIER_REGISTRY)
+#: Classifiers with both an encoded fit and a retained row-at-a-time fit.
+DUAL_FIT_CLASSIFIERS = ("decision_tree", "one_r", "prism")
 
 
 def _mixed_dataset(n_rows: int, missing: float, seed: int) -> Dataset:
@@ -42,6 +54,26 @@ def _force_row_path(model):
     model._predict_batch = lambda encoded: None
     model._predict_proba_batch = lambda encoded: None
     return model
+
+
+def _force_row_fit(model):
+    """Pin one unfitted instance to its row-at-a-time reference fit."""
+    model._force_row_fit = True
+    return model
+
+
+def _full_row_factory(name):
+    """A factory whose instances take the row path end to end (fit + predict),
+    including ensemble members."""
+
+    def factory():
+        model = _force_row_path(_force_row_fit(CLASSIFIER_REGISTRY[name]()))
+        base_factory = getattr(model, "base_factory", None)
+        if base_factory is not None:
+            model.base_factory = lambda: _force_row_path(_force_row_fit(base_factory()))
+        return model
+
+    return factory
 
 
 def _row_loop_predictions(model, dataset):
@@ -185,6 +217,175 @@ class TestEncodedDataset:
         fresh = EncodedDataset(dataset.take([4, 1, 3]))
         fresh_codes, fresh_vocab, _ = fresh.codes_view("c")
         assert fresh_vocab == vocabulary and fresh_codes.tolist() == codes.tolist()
+
+
+class TestEncodedFitEquivalence:
+    """The encoded (column-wise) fits must induce exactly the models the
+    row-at-a-time reference fits would."""
+
+    @pytest.mark.parametrize("missing", [0.0, 0.3, 0.5])
+    @pytest.mark.parametrize("seed", [11, 47])
+    def test_tree_encoded_fit_grows_identical_tree(self, missing, seed):
+        train = _mixed_dataset(120, missing, seed=seed)
+        encoded = DecisionTreeClassifier().fit(train)
+        row = _force_row_fit(DecisionTreeClassifier()).fit(train)
+        assert encoded.root_.rules() == row.root_.rules()
+        assert encoded.depth() == row.depth()
+        assert encoded.n_leaves() == row.n_leaves()
+
+    @pytest.mark.parametrize("missing", [0.0, 0.4])
+    def test_one_r_encoded_fit_matches_row_fit(self, missing):
+        train = _mixed_dataset(110, missing, seed=23)
+        encoded = OneRClassifier().fit(train)
+        row = _force_row_fit(OneRClassifier()).fit(train)
+        assert encoded.best_feature_ == row.best_feature_
+        assert encoded.rules_ == row.rules_
+        assert encoded.default_class_ == row.default_class_
+        assert encoded._edges == row._edges
+
+    @pytest.mark.parametrize("missing", [0.0, 0.4])
+    def test_prism_encoded_fit_matches_row_fit(self, missing):
+        train = _mixed_dataset(110, missing, seed=29)
+        encoded = PrismClassifier().fit(train)
+        row = _force_row_fit(PrismClassifier()).fit(train)
+        assert encoded.rule_texts() == row.rule_texts()
+        assert encoded.default_class_ == row.default_class_
+
+    @pytest.mark.parametrize("name", DUAL_FIT_CLASSIFIERS + ("bagged_trees",))
+    def test_cross_validation_metrics_identical_to_row_path(self, name):
+        dataset = _mixed_dataset(90, 0.2, seed=41)
+        fast = cross_validate(CLASSIFIER_REGISTRY[name], dataset, k=3, seed=0)
+        slow = cross_validate(_full_row_factory(name), dataset, k=3, seed=0)
+        assert fast.accuracy == slow.accuracy
+        assert fast.macro_f1 == slow.macro_f1
+        assert fast.kappa == slow.kappa
+        assert fast.fold_accuracies == slow.fold_accuracies
+
+    def test_subclass_overriding_row_machinery_keeps_row_fit(self):
+        class CustomSplitTree(DecisionTreeClassifier):
+            def _best_split(self, rows, labels):
+                return None  # always a stump
+
+        model = CustomSplitTree().fit(_mixed_dataset(60, 0.0, seed=7))
+        assert model.root_.is_leaf
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n_rows=st.integers(min_value=25, max_value=90),
+    missing=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_tree_batch_bit_identical_property(n_rows, missing, seed):
+    """Whatever the dataset shape and missingness, the encoded tree fit and the
+    masked batch prediction reproduce the row path bit for bit."""
+    train = _mixed_dataset(n_rows, missing, seed=seed)
+    test = _mixed_dataset(max(10, n_rows // 2), missing, seed=seed + 500)
+    model = DecisionTreeClassifier().fit(train)
+    row_model = _force_row_fit(DecisionTreeClassifier()).fit(train)
+    assert model.root_.rules() == row_model.root_.rules()
+    assert model.predict(test) == _row_loop_predictions(model, test)
+
+
+class TestEnsembleBatchVotes:
+    """Batch vote tallies must replicate the per-row Counter loop exactly."""
+
+    @pytest.mark.parametrize("missing", [0.0, 0.3])
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: BaggingClassifier(n_estimators=7, seed=3),
+            lambda: RandomSubspaceForest(n_estimators=9, feature_fraction=0.5, seed=5),
+            lambda: BaggingClassifier(base_factory=NaiveBayesClassifier, n_estimators=5, seed=1),
+        ],
+    )
+    def test_batch_votes_equal_counter_loop(self, missing, factory):
+        train = _mixed_dataset(90, missing, seed=17)
+        test = _mixed_dataset(45, missing, seed=71)
+        model = factory().fit(train)
+        row_model = _force_row_path(factory().fit(train))
+        assert model.predict(test) == row_model.predict(test)
+        batch_proba = model.predict_proba(test)
+        row_proba = row_model.predict_proba(test)
+        assert batch_proba == row_proba
+
+    def test_members_without_batch_path_fall_back_per_member(self):
+        train = _mixed_dataset(70, 0.1, seed=9)
+        test = _mixed_dataset(30, 0.1, seed=19)
+
+        def row_only_tree():
+            return _force_row_path(DecisionTreeClassifier(max_depth=4))
+
+        model = BaggingClassifier(base_factory=row_only_tree, n_estimators=5, seed=2).fit(train)
+        reference = _force_row_path(
+            BaggingClassifier(base_factory=row_only_tree, n_estimators=5, seed=2).fit(train)
+        )
+        assert model.predict(test) == reference.predict(test)
+
+
+class TestVectorizedEdgeCases:
+    def test_single_class_fold(self):
+        """A constant target must give a single-leaf tree / default-only rules,
+        with batch and row paths in agreement."""
+        base = _mixed_dataset(40, 0.2, seed=13)
+        target_name = base.target_column().name
+        train = base.replace_column(
+            Column(
+                target_name,
+                ["only"] * 40,
+                ctype=ColumnType.CATEGORICAL,
+                role=base[target_name].role,
+            )
+        )
+        test = _mixed_dataset(20, 0.2, seed=99)
+        for name in DUAL_FIT_CLASSIFIERS:
+            model = CLASSIFIER_REGISTRY[name]().fit(train)
+            assert model.predict(test) == ["only"] * test.n_rows
+            assert model.predict(test) == _row_loop_predictions(model, test)
+        tree = DecisionTreeClassifier().fit(train)
+        assert tree.root_.is_leaf
+
+    def test_all_missing_feature_column(self):
+        train = _mixed_dataset(60, 0.0, seed=3).replace_column(
+            Column("num_0", [None] * 60, ctype=ColumnType.NUMERIC)
+        )
+        test = _mixed_dataset(30, 0.0, seed=4).replace_column(
+            Column("num_0", [None] * 30, ctype=ColumnType.NUMERIC)
+        )
+        for name in DUAL_FIT_CLASSIFIERS:
+            encoded_model = CLASSIFIER_REGISTRY[name]().fit(train)
+            row_model = _force_row_fit(CLASSIFIER_REGISTRY[name]()).fit(train)
+            assert encoded_model.predict(test) == _row_loop_predictions(encoded_model, test)
+            assert encoded_model.predict(test) == _row_loop_predictions(row_model, test)
+
+    def test_prism_empty_rule_coverage_falls_back_to_default(self):
+        """Test rows no induced rule covers must take the default class on both
+        paths (including levels never seen at fit time)."""
+        train = Dataset.from_dict(
+            {
+                "colour": ["red", "red", "blue", "blue", "green", "green"],
+                "label": ["a", "a", "b", "b", "a", "b"],
+            },
+            ctypes={"colour": ColumnType.CATEGORICAL, "label": ColumnType.CATEGORICAL},
+        ).set_target("label")
+        model = PrismClassifier(bins=2).fit(train)
+        test = Dataset.from_dict(
+            {"colour": ["violet", "amber", None]},
+            ctypes={"colour": ColumnType.CATEGORICAL},
+        )
+        batch = model.predict(test)
+        row = _row_loop_predictions(model, test)
+        assert batch == row
+        assert batch[:2] == [model.default_class_] * 2
+
+    def test_merge_missing_level_reuses_literal_level(self):
+        codes = np.asarray([0, -1, 1, -1], dtype=np.int64)
+        merged, levels = merge_missing_level(codes, ["<missing>", "x"])
+        assert levels == ["<missing>", "x"]
+        assert merged.tolist() == [0, 0, 1, 0]
+        merged, levels = merge_missing_level(codes, ["a", "b"])
+        assert levels == ["a", "b", "<missing>"]
+        assert merged.tolist() == [0, 2, 1, 2]
 
 
 class TestTabularSatellites:
