@@ -145,7 +145,14 @@ class Advisor:
         )
 
     def advise(self, dataset: Dataset, algorithms: Sequence[str] | None = None) -> Recommendation:
-        """Measure a dataset's quality profile and produce a recommendation."""
+        """Measure a dataset's quality profile and produce a recommendation.
+
+        The dataset is encoded once (``measure_quality`` caches the
+        :class:`~repro.tabular.encoded.EncodedDataset` on the instance) and
+        that encoding is shared with anything run on the dataset afterwards:
+        ``cross_validate`` — or any miner — picks up the same views when the
+        caller follows the advice on the same dataset instance.
+        """
         criteria = self.criteria or self.knowledge_base.criteria() or None
         profile = measure_quality(dataset, criteria=criteria)
         return self.advise_profile(profile, algorithms)

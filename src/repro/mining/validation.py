@@ -127,11 +127,16 @@ def cross_validate(
     labelled = [i for i, v in enumerate(dataset[target_name].tolist()) if not is_missing_value(v)]
     if len(labelled) < k:
         raise MiningError("not enough labelled rows for the requested number of folds")
-    working = dataset.take(labelled)
 
-    # Encode the working dataset once; every fold below is materialised by
-    # slicing the cached encoded arrays with an index array instead of
-    # re-encoding (or re-coercing) the fold's columns from Python objects.
+    # Encode the input dataset once (reusing its instance cache — e.g. the
+    # encoding the advisor's quality profiling already built) and materialise
+    # the labelled subset and every fold below by slicing the cached encoded
+    # arrays with index arrays instead of re-encoding (or re-coercing)
+    # columns from Python objects.
+    if len(labelled) == dataset.n_rows:
+        working = dataset
+    else:
+        working = encode_dataset(dataset).take(labelled)
     encoded = encode_dataset(working)
     folds = stratified_kfold(working, k=k, seed=seed)
     truths: list[str] = []

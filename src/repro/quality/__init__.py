@@ -7,6 +7,14 @@ aspect of a dataset and returns a score in ``[0, 1]`` where **1.0 means
 perfect quality** (no problem present); the scores are aggregated into a
 :class:`~repro.quality.profile.DataQualityProfile` that the metamodel
 annotations, the knowledge base and the advisor all consume.
+
+Criteria run on the encoded-matrix execution core by default:
+:func:`~repro.quality.profile.measure_quality` encodes the dataset once and
+every default criterion measures from the shared
+:class:`~repro.tabular.encoded.EncodedDataset` views through the
+``_measure_encoded`` hook (see :mod:`repro.quality.criteria`), falling back
+to — and staying bit-identical with — the row-at-a-time reference
+``measure`` implementations.
 """
 
 from repro.quality.criteria import Criterion, CriterionMeasure, CRITERIA_REGISTRY, get_criterion, register_criterion

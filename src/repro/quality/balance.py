@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
-from repro.tabular.dataset import Dataset
+from repro.tabular.dataset import Column, Dataset
+from repro.tabular.encoded import EncodedDataset
 
 
 @register_criterion
@@ -29,7 +32,43 @@ class BalanceCriterion(Criterion):
             if not candidates:
                 return CriterionMeasure(self.name, 1.0, {"note": "no discrete column to assess"})
             column = min(candidates, key=lambda c: self._normalised_entropy(c.value_counts()))
-        counts = column.value_counts()
+        return self._build_measure(column, {str(k): v for k, v in column.value_counts().items()})
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        if not self._uses_reference_measure(BalanceCriterion):
+            return None
+        dataset = encoded.dataset
+        if dataset.has_target():
+            column = dataset.target_column()
+            if column.is_numeric():
+                # A numeric target's value counts key on raw floats, where
+                # -0.0 and 0.0 share one Counter bucket but two distinct
+                # string codes; the reference path keeps that corner exact.
+                return None
+        else:
+            candidates = [c for c in dataset.feature_columns() if not c.is_numeric()]
+            if not candidates:
+                return CriterionMeasure(self.name, 1.0, {"note": "no discrete column to assess"})
+            column = min(
+                candidates,
+                key=lambda c: self._normalised_entropy(self._encoded_counts(encoded, c.name)),
+            )
+        return self._build_measure(column, self._encoded_counts(encoded, column.name))
+
+    @staticmethod
+    def _encoded_counts(encoded: EncodedDataset, name: str) -> dict[str, int]:
+        """Level → frequency from the code view, in first-seen level order.
+
+        The order matters: the entropy loop below must add per-class terms in
+        the same order as the row path's insertion-ordered ``Counter``.
+        """
+        codes, vocabulary, _ = encoded.codes_view(name)
+        if not vocabulary:
+            return {}
+        counts = np.bincount(codes[codes >= 0], minlength=len(vocabulary))
+        return dict(zip(vocabulary, counts.tolist()))
+
+    def _build_measure(self, column: Column, counts: dict[str, int]) -> CriterionMeasure:
         score = self._normalised_entropy(counts)
         total = sum(counts.values())
         majority = max(counts.values()) if counts else 0
@@ -39,7 +78,7 @@ class BalanceCriterion(Criterion):
             score=score,
             details={
                 "column": column.name,
-                "class_counts": {str(k): v for k, v in counts.items()},
+                "class_counts": dict(counts),
                 "majority_share": majority / total if total else 0.0,
                 "imbalance_ratio": (majority / minority) if minority else float(total or 1),
             },

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
-from repro.tabular.dataset import ColumnRole, Dataset
+from repro.tabular.dataset import Column, ColumnRole, Dataset
+from repro.tabular.encoded import EncodedDataset
 
 
 @register_criterion
@@ -20,19 +21,32 @@ class CompletenessCriterion(Criterion):
     def __init__(self, include_target: bool = True) -> None:
         self.include_target = include_target
 
-    def measure(self, dataset: Dataset) -> CriterionMeasure:
+    def _selected_columns(self, dataset: Dataset) -> list[Column]:
         roles = {ColumnRole.FEATURE}
         if self.include_target:
             roles.add(ColumnRole.TARGET)
         columns = [c for c in dataset.columns if c.role in roles]
-        if not columns:
-            columns = dataset.columns
+        return columns or dataset.columns
+
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        counts = {c.name: c.n_missing() for c in self._selected_columns(dataset)}
+        return self._build_measure(dataset, counts)
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        if not self._uses_reference_measure(CompletenessCriterion):
+            return None
+        counts = {
+            c.name: int(encoded.missing_view(c.name).sum())
+            for c in self._selected_columns(encoded.dataset)
+        }
+        return self._build_measure(encoded.dataset, counts)
+
+    def _build_measure(self, dataset: Dataset, missing_counts: dict[str, int]) -> CriterionMeasure:
         per_column = {}
         total_cells = 0
         total_missing = 0
-        for column in columns:
-            missing = column.n_missing()
-            per_column[column.name] = 1.0 - missing / dataset.n_rows
+        for name, missing in missing_counts.items():
+            per_column[name] = 1.0 - missing / dataset.n_rows
             total_cells += dataset.n_rows
             total_missing += missing
         score = 1.0 - (total_missing / total_cells if total_cells else 0.0)

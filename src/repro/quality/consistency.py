@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
 from repro.tabular.dataset import Dataset
-from repro.tabular.schema import Schema, infer_schema
+from repro.tabular.encoded import EncodedDataset
+from repro.tabular.schema import Schema, infer_schema, inferred_schema_name
 
 
 @register_criterion
@@ -39,5 +40,34 @@ class ConsistencyCriterion(Criterion):
                 "n_violations": len(violations),
                 "violations_by_kind": per_kind,
                 "schema": schema.name,
+            },
+        )
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        if not self._uses_reference_measure(ConsistencyCriterion):
+            return None
+        if self.schema is not None:
+            # An explicit schema can carry arbitrary row rules and raw-value
+            # domains; only the reference path can honour those faithfully.
+            return None
+        # Without an explicit schema the reference path infers one from the
+        # dataset itself and then validates the dataset against it.  That
+        # schema is permissive by construction: specs copy each column's type,
+        # bounds are the observed min/max, domains are the observed distinct
+        # values, columns with missing cells are marked nullable, and neither
+        # uniqueness nor row rules are ever inferred — so validation provably
+        # returns zero violations and the O(cells) walk only re-derives what
+        # is true by construction.  This bakes that invariant in: if
+        # ``infer_schema``/``validate`` ever grows a check that can fire on a
+        # schema's own source dataset, this shortcut must be revisited — the
+        # row-vs-encoded equivalence tests (unit and property-based) exist to
+        # catch exactly that drift.
+        return CriterionMeasure(
+            criterion=self.name,
+            score=1.0,
+            details={
+                "n_violations": 0,
+                "violations_by_kind": {},
+                "schema": inferred_schema_name(encoded.dataset.name),
             },
         )

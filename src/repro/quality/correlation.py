@@ -5,6 +5,12 @@ classification algorithm (being some of them strongly correlated), the
 resulting knowledge pattern, though correct, will not provide the useful
 expected value" (§3.1).  The criterion therefore scores how *non-redundant*
 the feature set is.
+
+The encoded path computes Pearson directly on the cached float views (no
+per-cell list round-trips) and Cramér's V from a ``bincount`` contingency
+table over code pairs; both replicate the reference arithmetic of
+:mod:`repro.tabular.stats` operation for operation, so the scores are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -14,7 +20,8 @@ import math
 import numpy as np
 
 from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
-from repro.tabular.dataset import ColumnType, Dataset
+from repro.tabular.dataset import Column, ColumnType, Dataset
+from repro.tabular.encoded import EncodedDataset
 from repro.tabular.stats import cramers_v, pearson
 
 
@@ -25,7 +32,9 @@ class CorrelationCriterion(Criterion):
     Numeric pairs use |Pearson| and categorical pairs use Cramér's V; a pair
     counts as redundant when its association exceeds ``threshold``.  The score
     also reports the mean absolute association in the details so degradation
-    is visible before any pair crosses the threshold.
+    is visible before any pair crosses the threshold.  At most ``max_pairs``
+    pairs are examined (numeric pairs first); the cap ends the examination
+    outright on both execution paths.
     """
 
     name = "correlation"
@@ -35,11 +44,34 @@ class CorrelationCriterion(Criterion):
         self.threshold = threshold
         self.max_pairs = max_pairs
 
-    def measure(self, dataset: Dataset) -> CriterionMeasure:
+    @staticmethod
+    def _split_features(dataset: Dataset) -> tuple[list[Column], list[Column]]:
         features = dataset.feature_columns()
         numeric = [c for c in features if c.is_numeric()]
         categorical = [c for c in features if c.ctype in (ColumnType.CATEGORICAL, ColumnType.BOOLEAN)]
+        return numeric, categorical
 
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        numeric, categorical = self._split_features(dataset)
+        return self._measure_pairs(
+            numeric,
+            categorical,
+            lambda a, b: pearson(a.values, b.values),
+            cramers_v,
+        )
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        if not self._uses_reference_measure(CorrelationCriterion):
+            return None
+        numeric, categorical = self._split_features(encoded.dataset)
+        return self._measure_pairs(
+            numeric,
+            categorical,
+            lambda a, b: _pearson_encoded(encoded, a.name, b.name),
+            lambda a, b: _cramers_v_encoded(encoded, a.name, b.name),
+        )
+
+    def _measure_pairs(self, numeric, categorical, numeric_assoc, categorical_assoc) -> CriterionMeasure:
         associations: list[float] = []
         redundant_pairs: list[tuple[str, str, float]] = []
 
@@ -51,18 +83,19 @@ class CorrelationCriterion(Criterion):
                 redundant_pairs.append((name_a, name_b, float(value)))
 
         pairs_examined = 0
-        for i in range(len(numeric)):
-            for j in range(i + 1, len(numeric)):
-                if pairs_examined >= self.max_pairs:
+        capped = False
+        for columns, assoc in ((numeric, numeric_assoc), (categorical, categorical_assoc)):
+            for i in range(len(columns)):
+                for j in range(i + 1, len(columns)):
+                    if pairs_examined >= self.max_pairs:
+                        capped = True
+                        break
+                    consider(columns[i].name, columns[j].name, assoc(columns[i], columns[j]))
+                    pairs_examined += 1
+                if capped:
                     break
-                consider(numeric[i].name, numeric[j].name, pearson(numeric[i].values, numeric[j].values))
-                pairs_examined += 1
-        for i in range(len(categorical)):
-            for j in range(i + 1, len(categorical)):
-                if pairs_examined >= self.max_pairs:
-                    break
-                consider(categorical[i].name, categorical[j].name, cramers_v(categorical[i], categorical[j]))
-                pairs_examined += 1
+            if capped:
+                break
 
         if not associations:
             return CriterionMeasure(self.name, 1.0, {"n_pairs": 0, "redundant_pairs": []})
@@ -85,3 +118,71 @@ class CorrelationCriterion(Criterion):
                 ],
             },
         )
+
+
+def _pearson_encoded(encoded: EncodedDataset, name_a: str, name_b: str) -> float:
+    """:func:`repro.tabular.stats.pearson` over the cached float views.
+
+    Same masking, same ``np.corrcoef`` call on the same float64 arrays as the
+    reference — only the per-cell ``list``/``asarray`` round-trip is skipped.
+    """
+    xa, _ = encoded.numeric_view(name_a)
+    ya, _ = encoded.numeric_view(name_b)
+    mask = ~(np.isnan(xa) | np.isnan(ya))
+    xa, ya = xa[mask], ya[mask]
+    if xa.size < 2:
+        return float("nan")
+    if xa.std() == 0 or ya.std() == 0:
+        return 0.0
+    return float(np.corrcoef(xa, ya)[0, 1])
+
+
+def _cramers_v_encoded(encoded: EncodedDataset, name_a: str, name_b: str) -> float:
+    """:func:`repro.tabular.stats.cramers_v` from bincounts over code pairs.
+
+    The contingency table is laid out with levels in sorted-string order —
+    exactly how the reference builds it — because the float reductions over
+    the table (``sum``, ``nansum``) are order-sensitive in the last bit.
+    """
+    codes_a, vocab_a, _ = encoded.codes_view(name_a)
+    codes_b, vocab_b, _ = encoded.codes_view(name_b)
+    both = (codes_a >= 0) & (codes_b >= 0)
+    if not both.any():
+        return 0.0
+    pairs_a = codes_a[both]
+    pairs_b = codes_b[both]
+    ranks_a = _sorted_level_ranks(pairs_a, vocab_a)
+    ranks_b = _sorted_level_ranks(pairs_b, vocab_b)
+    n_a, n_b = ranks_a.max() + 1, ranks_b.max() + 1
+    if n_a < 2 or n_b < 2:
+        return 0.0
+    table = (
+        np.bincount(ranks_a * n_b + ranks_b, minlength=n_a * n_b)
+        .reshape(n_a, n_b)
+        .astype(float)
+    )
+    n = table.sum()
+    row_sums = table.sum(axis=1, keepdims=True)
+    col_sums = table.sum(axis=0, keepdims=True)
+    expected = row_sums @ col_sums / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.nansum(np.where(expected > 0, (table - expected) ** 2 / expected, 0.0))
+    phi2 = chi2 / n
+    k = min(n_a - 1, n_b - 1)
+    if k == 0:
+        return 0.0
+    return float(math.sqrt(phi2 / k))
+
+
+def _sorted_level_ranks(present_codes: np.ndarray, vocabulary: list[str]) -> np.ndarray:
+    """Map codes to contiguous ranks ordered by the level *string*.
+
+    Restricting to the levels actually present and ranking them by sorted
+    string mirrors the reference's ``sorted({str(x) for x, _ in pairs})``.
+    """
+    level_codes = np.unique(present_codes)
+    strings = [vocabulary[code] for code in level_codes.tolist()]
+    rank_of = np.empty(level_codes.size, dtype=np.int64)
+    for rank, position in enumerate(sorted(range(len(strings)), key=strings.__getitem__)):
+        rank_of[position] = rank
+    return rank_of[np.searchsorted(level_codes, present_codes)]

@@ -8,6 +8,7 @@ from typing import Any
 
 from repro.exceptions import DataQualityError
 from repro.tabular.dataset import Dataset
+from repro.tabular.encoded import EncodedDataset
 
 
 @dataclass(frozen=True)
@@ -35,16 +36,71 @@ class Criterion(ABC):
     Subclasses define :attr:`name`, a short :attr:`description` and implement
     :meth:`measure`.  Construction arguments configure thresholds; measurement
     never mutates the dataset.
+
+    Criteria follow the same two-tier execution protocol as the classifiers in
+    :mod:`repro.mining.base`: :meth:`measure` is the mandatory row-at-a-time
+    **reference implementation**, and :meth:`_measure_encoded` is an optional
+    vectorized implementation over the cached encoded-matrix views of the
+    dataset (:mod:`repro.tabular.encoded`).  :meth:`measure_encoded` — the
+    entry point used by :func:`repro.quality.profile.measure_quality` — tries
+    the encoded path first and transparently falls back to :meth:`measure`, so
+    criteria opt into vectorization without changing the public API.
     """
 
     #: Registry key; subclasses override.
     name: str = "criterion"
     #: One-line human readable description used in reports.
     description: str = ""
+    #: Set to ``True`` (on an instance, or on a class for a whole run) to pin
+    #: measurement to the row-at-a-time reference path — the same escape hatch
+    #: as ``_force_row_fit`` on the miners.  Used by the equivalence tests and
+    #: the ``bench_perf_quality`` benchmark.
+    _force_row_measure: bool = False
 
     @abstractmethod
     def measure(self, dataset: Dataset) -> CriterionMeasure:
-        """Measure this criterion on ``dataset``."""
+        """Measure this criterion on ``dataset`` (row-at-a-time reference)."""
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        """Vectorized measurement over an encoded dataset view.
+
+        Return ``None`` (the default) to fall back to :meth:`measure`.
+        Implementations must be **bit-identical** to the reference path: the
+        same ``score`` float and an equal ``details`` dict (same keys, same
+        key order, same plain-Python value types), which in practice means
+        replicating the reference float arithmetic operation for operation —
+        same summation order, same ``math`` vs ``numpy`` calls — rather than
+        merely computing the same quantity.  Implementations must not mutate
+        the shared encoded views, and must start by guarding with
+        :meth:`_uses_reference_measure` so subclasses that override
+        :meth:`measure` keep their customised behaviour.
+        """
+        return None
+
+    def _uses_reference_measure(self, owner: type) -> bool:
+        """True when this instance inherits ``owner``'s :meth:`measure`.
+
+        An encoded path replicates one specific reference implementation; a
+        subclass that overrides :meth:`measure` must get its own behaviour, so
+        every :meth:`_measure_encoded` guards on this before engaging (the
+        quality-side analogue of ``Classifier._uses_base_impl``).
+        """
+        return type(self).measure is owner.measure
+
+    def measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure:
+        """Measure against ``encoded``, preferring the vectorized path.
+
+        This is how :func:`~repro.quality.profile.measure_quality` invokes
+        criteria: the profile encodes the dataset once and hands the same
+        :class:`~repro.tabular.encoded.EncodedDataset` to every criterion, so
+        column encodings are shared across criteria (and with any mining that
+        runs on the dataset afterwards, e.g. the advisor's cross-validation).
+        """
+        if not self._force_row_measure:
+            result = self._measure_encoded(encoded)
+            if result is not None:
+                return result
+        return self.measure(encoded.dataset)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

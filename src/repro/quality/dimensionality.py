@@ -12,6 +12,7 @@ import math
 
 from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
 from repro.tabular.dataset import ColumnRole, Dataset
+from repro.tabular.encoded import EncodedDataset
 
 
 @register_criterion
@@ -34,11 +35,20 @@ class DimensionalityCriterion(Criterion):
 
     def measure(self, dataset: Dataset) -> CriterionMeasure:
         features = [c for c in dataset.columns if c.role == ColumnRole.FEATURE]
-        n_features = len(features)
+        missing_cells = sum(c.n_missing() for c in features)
+        return self._build_measure(dataset, len(features), missing_cells)
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        if not self._uses_reference_measure(DimensionalityCriterion):
+            return None
+        features = [c for c in encoded.dataset.columns if c.role == ColumnRole.FEATURE]
+        missing_cells = sum(int(encoded.missing_view(c.name).sum()) for c in features)
+        return self._build_measure(encoded.dataset, len(features), missing_cells)
+
+    def _build_measure(self, dataset: Dataset, n_features: int, missing_cells: int) -> CriterionMeasure:
         n_rows = dataset.n_rows
         ratio = n_features / n_rows if n_rows else float("inf")
         score = 1.0 / (1.0 + ratio / self.reference_ratio) if math.isfinite(ratio) else 0.0
-        missing_cells = sum(c.n_missing() for c in features)
         total_cells = n_features * n_rows
         sparsity = missing_cells / total_cells if total_cells else 0.0
         return CriterionMeasure(

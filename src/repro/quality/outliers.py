@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
 from repro.tabular.dataset import ColumnRole, Dataset
+from repro.tabular.encoded import EncodedDataset
 
 
 @register_criterion
@@ -25,20 +26,40 @@ class OutlierCriterion(Criterion):
         self.iqr_factor = iqr_factor
 
     def measure(self, dataset: Dataset) -> CriterionMeasure:
-        numeric = [
+        columns = self._numeric_columns(dataset)
+        if not columns:
+            return CriterionMeasure(self.name, 1.0, {"note": "no numeric columns"})
+        present = [np.asarray([float(v) for v in column.non_missing()]) for column in columns]
+        return self._build_measure([c.name for c in columns], present)
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        if not self._uses_reference_measure(OutlierCriterion):
+            return None
+        columns = self._numeric_columns(encoded.dataset)
+        if not columns:
+            return CriterionMeasure(self.name, 1.0, {"note": "no numeric columns"})
+        views = [encoded.numeric_view(column.name) for column in columns]
+        # Slicing the float view by the missing mask preserves cell order, so
+        # the percentile/std arithmetic below sees exactly the arrays the
+        # reference path builds cell by cell.
+        present = [values[~missing] for values, missing in views]
+        return self._build_measure([c.name for c in columns], present)
+
+    @staticmethod
+    def _numeric_columns(dataset: Dataset) -> list:
+        return [
             c
             for c in dataset.columns
             if c.is_numeric() and c.role in (ColumnRole.FEATURE, ColumnRole.TARGET)
         ]
-        if not numeric:
-            return CriterionMeasure(self.name, 1.0, {"note": "no numeric columns"})
+
+    def _build_measure(self, names: list[str], present: list[np.ndarray]) -> CriterionMeasure:
         outliers = 0
         checked = 0
         per_column: dict[str, float] = {}
-        for column in numeric:
-            values = np.asarray([float(v) for v in column.non_missing()])
+        for name, values in zip(names, present):
             if values.size < 4:
-                per_column[column.name] = 0.0
+                per_column[name] = 0.0
                 continue
             q1, q3 = np.percentile(values, [25, 75])
             iqr = q3 - q1
@@ -46,7 +67,7 @@ class OutlierCriterion(Criterion):
             low = q1 - self.iqr_factor * spread
             high = q3 + self.iqr_factor * spread
             column_outliers = int(((values < low) | (values > high)).sum())
-            per_column[column.name] = column_outliers / values.size
+            per_column[name] = column_outliers / values.size
             outliers += column_outliers
             checked += values.size
         score = 1.0 - (outliers / checked if checked else 0.0)

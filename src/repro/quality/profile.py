@@ -17,6 +17,7 @@ import numpy as np
 from repro.exceptions import DataQualityError
 from repro.quality.criteria import Criterion, CriterionMeasure, get_criterion
 from repro.tabular.dataset import Dataset
+from repro.tabular.encoded import encode_dataset
 
 #: Criteria measured by default, in a stable order (this is also the order of
 #: :meth:`DataQualityProfile.as_vector`).
@@ -144,6 +145,14 @@ def measure_quality(
     ``criteria`` may mix registered criterion names and already constructed
     :class:`~repro.quality.criteria.Criterion` instances; per-criterion
     keyword arguments can be passed as ``criterion_kwargs[name] = {...}``.
+
+    The dataset is encoded **once** (via the instance cache of
+    :func:`~repro.tabular.encoded.encode_dataset`) and the same
+    :class:`~repro.tabular.encoded.EncodedDataset` views are shared by every
+    criterion — and by whatever mining runs on the same dataset instance
+    afterwards, e.g. the cross-validation following the advisor's advice.
+    Criteria with ``_force_row_measure`` set take their row-at-a-time
+    reference path; both paths are bit-identical.
     """
     selected: list[Criterion] = []
     for item in criteria if criteria is not None else DEFAULT_CRITERIA:
@@ -152,7 +161,8 @@ def measure_quality(
         else:
             kwargs = dict(criterion_kwargs.get(item, {})) if criterion_kwargs else {}
             selected.append(get_criterion(str(item), **kwargs))
+    encoded = encode_dataset(dataset)
     profile = DataQualityProfile(dataset_name=dataset.name)
     for criterion in selected:
-        profile.measures[criterion.name] = criterion.measure(dataset)
+        profile.measures[criterion.name] = criterion.measure_encoded(encoded)
     return profile

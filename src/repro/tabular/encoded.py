@@ -52,7 +52,14 @@ class EncodedDataset:
     all-missing, mirroring ``row.get(name) -> None`` in the row path.
     """
 
-    __slots__ = ("dataset", "_numeric", "_categorical", "_parent", "_parent_indices")
+    __slots__ = (
+        "dataset",
+        "_numeric",
+        "_categorical",
+        "_normalised",
+        "_parent",
+        "_parent_indices",
+    )
 
     def __init__(
         self,
@@ -63,6 +70,7 @@ class EncodedDataset:
         self.dataset = dataset
         self._numeric: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self._categorical: dict[str, tuple[np.ndarray, list[str], dict[str, int]]] = {}
+        self._normalised: dict[str, list[str]] = {}
         self._parent = _parent
         self._parent_indices = _parent_indices
 
@@ -134,6 +142,63 @@ class EncodedDataset:
                 continue
             codes[i] = index.setdefault(str(value), len(index))
         return codes, list(index), index
+
+    # -- shared derived views -------------------------------------------------
+
+    def missing_view(self, name: str) -> np.ndarray:
+        """Boolean mask that is ``True`` where column ``name`` is missing.
+
+        For numeric columns this is the nan mask of the numeric view; for
+        object columns it is the column's cached missing mask.  Both are the
+        exact masks the row-at-a-time criteria derive cell by cell, so counts
+        taken from this view are bit-identical to the row path.
+        """
+        if name in self.dataset and not self.dataset[name].is_numeric():
+            return self.dataset[name].missing_mask()
+        return self.numeric_view(name)[1]
+
+    def normalised_levels(self, name: str) -> list[str]:
+        """``normalise_string`` of every categorical vocabulary level, cached.
+
+        Normalisation (lower-case, accent stripping, whitespace collapsing —
+        see :func:`repro.lod.linker.normalise_string`) is the costly per-string
+        step of the fuzzy duplicate and spelling-variant checks; computing it
+        once per distinct level instead of once per cell is what makes those
+        checks scale with the vocabulary rather than with the row count.
+        """
+        cached = self._normalised.get(name)
+        if cached is not None:
+            return cached
+        # Imported lazily: repro.tabular.__init__ imports this module, and the
+        # lod package imports repro.tabular.dataset, so a top-level import here
+        # would make package import order load-bearing.
+        from repro.lod.linker import normalise_string
+
+        _, vocabulary, _ = self.codes_view(name)
+        levels = [normalise_string(level) for level in vocabulary]
+        self._normalised[name] = levels
+        return levels
+
+    def normalised_codes_view(self, name: str) -> tuple[np.ndarray, list[str]]:
+        """Codes of column ``name`` after string normalisation.
+
+        Returns ``(codes, vocabulary)`` where raw levels that normalise to the
+        same string share one code; the vocabulary lists the normalised forms
+        in first-seen order of their raw levels and ``-1`` still marks missing.
+        Two cells get equal codes exactly when the row path's
+        ``normalise_string(str(value))`` keys would compare equal.
+        """
+        codes, vocabulary, _ = self.codes_view(name)
+        if not vocabulary:
+            return codes, []
+        groups: dict[str, int] = {}
+        remap = np.empty(len(vocabulary), dtype=np.int64)
+        for i, level in enumerate(self.normalised_levels(name)):
+            remap[i] = groups.setdefault(level, len(groups))
+        return (
+            np.where(codes >= 0, remap[np.clip(codes, 0, None)], -1),
+            list(groups),
+        )
 
     def _slice_codes(self, name: str) -> tuple[np.ndarray, list[str], dict[str, int]]:
         parent_codes, parent_vocab, _ = self._parent.codes_view(name)

@@ -169,6 +169,11 @@ class Schema:
         return not self.validate(dataset)
 
 
+def inferred_schema_name(dataset_name: str) -> str:
+    """Default name :func:`infer_schema` gives the schema of one dataset."""
+    return f"{dataset_name}-schema"
+
+
 def infer_schema(dataset: Dataset, name: str | None = None, categorical_domains: bool = True) -> Schema:
     """Infer a permissive schema from an existing (assumed clean) dataset.
 
@@ -177,7 +182,7 @@ def infer_schema(dataset: Dataset, name: str | None = None, categorical_domains:
     set.  The inferred schema is the "clean reference" used by the consistency
     criterion after data quality problems have been injected.
     """
-    schema = Schema(name or f"{dataset.name}-schema")
+    schema = Schema(name or inferred_schema_name(dataset.name))
     for column in dataset.columns:
         spec = ColumnSpec(name=column.name, ctype=column.ctype, nullable=column.n_missing() > 0)
         if column.is_numeric():
