@@ -3,12 +3,14 @@
 The paper positions OpenBI as giving citizens "reporting, OLAP analysis,
 dashboards or data mining" over LOD, plus the ability to share what they learn
 back as LOD.  This subpackage implements those user-facing pieces on top of
-the tabular, quality, mining and core layers.
+the tabular, quality, mining and core layers.  The OLAP/KPI aggregations run
+on the encoded-matrix execution core (see ``docs/encoded-core.md``) with a
+retained, bit-identical row-at-a-time reference path.
 """
 
 from repro.bi.olap import Cube, Dimension, Measure
-from repro.bi.reporting import Report, dataset_to_table_text
-from repro.bi.kpi import KPI, evaluate_kpis
+from repro.bi.reporting import Report, cube_report, dataset_to_table_text
+from repro.bi.kpi import KPI, evaluate_kpis, evaluate_kpis_by_level
 from repro.bi.dashboard import Dashboard
 from repro.bi.charts import bar_chart, series_chart, sparkline
 from repro.bi.sharing import share_report_as_lod, share_cube_as_lod, share_recommendation_as_lod
@@ -18,9 +20,11 @@ __all__ = [
     "Dimension",
     "Measure",
     "Report",
+    "cube_report",
     "dataset_to_table_text",
     "KPI",
     "evaluate_kpis",
+    "evaluate_kpis_by_level",
     "Dashboard",
     "bar_chart",
     "series_chart",

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.bi.kpi import KPI, evaluate_kpis
+from repro.bi.kpi import KPI, evaluate_kpis, evaluate_kpis_by_level
 from repro.bi.olap import Cube
 from repro.bi.reporting import Report, dataset_to_table_text
 from repro.core.advisor import Recommendation
@@ -49,6 +49,19 @@ class Dashboard:
         self._panels.append((title, dataset_to_table_text(aggregated, fmt="markdown")))
         return self
 
+    def add_kpi_breakdown_panel(
+        self, title: str, kpis: Sequence[KPI], cube: Cube, level: str
+    ) -> "Dashboard":
+        """Add a per-group KPI scoreboard over one cube dimension level.
+
+        The scoreboard comes from :func:`~repro.bi.kpi.evaluate_kpis_by_level`,
+        i.e. from the cube's vectorized encoded-path aggregation (or the
+        bit-identical row reference when the cube is forced to it).
+        """
+        scoreboard = evaluate_kpis_by_level(kpis, cube, level)
+        self._panels.append((title, dataset_to_table_text(scoreboard, fmt="markdown")))
+        return self
+
     def add_recommendation_panel(self, title: str, recommendation: Recommendation) -> "Dashboard":
         """Add the advisor's recommendation for a source."""
         lines = [
@@ -76,6 +89,7 @@ class Dashboard:
 
     @property
     def panel_titles(self) -> list[str]:
+        """The panel titles in display order."""
         return [title for title, _ in self._panels]
 
     def render(self) -> str:

@@ -1,4 +1,13 @@
-"""Key performance indicators for dashboards."""
+"""Key performance indicators for dashboards.
+
+A :class:`KPI` evaluates to a single number for a whole dataset
+(:meth:`KPI.value`) or to one number per group of an OLAP cube level
+(:func:`evaluate_kpis_by_level`).  The per-level evaluation rides on the
+two-tier :func:`~repro.tabular.transforms.group_by`: it runs vectorized over
+the cube dataset's cached encoded views by default and on the row-at-a-time
+reference path when the cube's ``_force_row_olap`` escape hatch is set, with
+bit-identical results either way.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +15,11 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.bi.olap import Cube
 from repro.exceptions import ReproError
-from repro.tabular.dataset import Dataset
+from repro.tabular.dataset import ColumnType, Dataset
 from repro.tabular.stats import numeric_summary
+from repro.tabular.transforms import group_by
 
 
 @dataclass(frozen=True)
@@ -29,34 +40,94 @@ class KPI:
     description: str = ""
 
     def value(self, dataset: Dataset) -> float:
+        """Evaluate the indicator over the whole dataset.
+
+        Column KPIs use the column mean from
+        :func:`~repro.tabular.stats.numeric_summary` (computed on the column's
+        array, missing cells excluded); callable KPIs call ``compute`` with
+        the dataset.
+        """
         if callable(self.compute):
             return float(self.compute(dataset))
         if self.compute not in dataset:
             raise ReproError(f"KPI {self.name!r} references unknown column {self.compute!r}")
         return float(numeric_summary(dataset[self.compute])["mean"])
 
-    def status(self, dataset: Dataset) -> dict[str, Any]:
-        """Evaluate the KPI and return value, target and traffic-light status."""
-        value = self.value(dataset)
+    def grade(self, value: float) -> str:
+        """Return the traffic-light label (``good``/``warning``/``bad``) for ``value``."""
         if self.higher_is_better:
             good = value >= self.target
             warning = value >= self.target * (1.0 - self.tolerance)
         else:
             good = value <= self.target
             warning = value <= self.target * (1.0 + self.tolerance)
-        label = "good" if good else ("warning" if warning else "bad")
+        return "good" if good else ("warning" if warning else "bad")
+
+    def status(self, dataset: Dataset) -> dict[str, Any]:
+        """Evaluate the KPI and return value, target and traffic-light status."""
+        value = self.value(dataset)
         return {
             "kpi": self.name,
             "value": value,
             "target": self.target,
-            "status": label,
+            "status": self.grade(value),
             "higher_is_better": self.higher_is_better,
             "description": self.description,
         }
 
 
 def evaluate_kpis(kpis: Sequence[KPI], dataset: Dataset) -> list[dict[str, Any]]:
-    """Evaluate a list of KPIs against one dataset."""
+    """Evaluate a list of KPIs against one dataset (whole-dataset values)."""
     if not kpis:
         raise ReproError("no KPIs to evaluate")
     return [kpi.status(dataset) for kpi in kpis]
+
+
+def evaluate_kpis_by_level(kpis: Sequence[KPI], cube: Cube, level: str) -> Dataset:
+    """Evaluate column KPIs per group of one cube dimension level.
+
+    Returns a dataset with one row per distinct ``level`` value (in first-seen
+    order), holding each KPI's per-group mean and its traffic-light status
+    column (``<name>_status``).  The group means come from the cube's two-tier
+    ``group_by`` — vectorized over the encoded views unless the cube's
+    ``_force_row_olap`` escape hatch routes to the row-at-a-time reference —
+    so both paths produce bit-identical scoreboards.
+
+    Only column KPIs are supported here: a callable ``compute`` cannot be
+    pushed into the grouped aggregation and raises :class:`ReproError`.
+    """
+    if not kpis:
+        raise ReproError("no KPIs to evaluate")
+    aggregations: dict[str, tuple[str, str]] = {}
+    out_columns = {level}
+    for kpi in kpis:
+        if callable(kpi.compute):
+            raise ReproError(
+                f"KPI {kpi.name!r} uses a callable; per-level evaluation needs a column name"
+            )
+        if kpi.compute not in cube.dataset:
+            raise ReproError(f"KPI {kpi.name!r} references unknown column {kpi.compute!r}")
+        if not cube.dataset[kpi.compute].is_numeric():
+            raise ReproError(f"KPI {kpi.name!r} references non-numeric column {kpi.compute!r}")
+        for column in (kpi.name, f"{kpi.name}_status"):
+            if column in out_columns:
+                raise ReproError(
+                    f"KPI {kpi.name!r} collides with the {column!r} scoreboard column; "
+                    "KPI names must be unique and differ from the level column"
+                )
+            out_columns.add(column)
+        aggregations[kpi.name] = (kpi.compute, "mean")
+    grouped = group_by(cube.dataset, [level], aggregations, force_row=cube._force_row_olap)
+    out_rows: list[dict[str, Any]] = []
+    for row in grouped.iter_rows():
+        out: dict[str, Any] = {level: row[level]}
+        for kpi in kpis:
+            value = row[kpi.name]
+            out[kpi.name] = value
+            out[f"{kpi.name}_status"] = kpi.grade(float(value))
+        out_rows.append(out)
+    ctypes = {level: cube.dataset[level].ctype}
+    for kpi in kpis:
+        ctypes[kpi.name] = ColumnType.NUMERIC
+        ctypes[f"{kpi.name}_status"] = ColumnType.CATEGORICAL
+    return Dataset.from_rows(out_rows, name=f"{cube.name}_kpis_by_{level}", ctypes=ctypes)

@@ -42,6 +42,12 @@ from repro.tabular.dataset import Dataset
 #: Attribute name used to cache the encoding on a dataset instance.
 _CACHE_ATTR = "_encoded_cache"
 
+#: Sentinel the row-at-a-time relational operators hash missing cells under
+#: (see ``repro.tabular.transforms._hashable``).  The encoded group-key views
+#: reuse it so that a raw string cell equal to this literal collides with the
+#: missing bucket on both execution paths.
+MISSING_KEY_SENTINEL = "\0<missing>"
+
 
 class EncodedDataset:
     """Lazy per-column numeric/categorical encodings of one dataset.
@@ -57,6 +63,8 @@ class EncodedDataset:
         "_numeric",
         "_categorical",
         "_normalised",
+        "_group_codes",
+        "_group_keys",
         "_parent",
         "_parent_indices",
     )
@@ -71,6 +79,8 @@ class EncodedDataset:
         self._numeric: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self._categorical: dict[str, tuple[np.ndarray, list[str], dict[str, int]]] = {}
         self._normalised: dict[str, list[str]] = {}
+        self._group_codes: dict[str, np.ndarray] = {}
+        self._group_keys: dict[tuple[str, ...], tuple[np.ndarray, int]] = {}
         self._parent = _parent
         self._parent_indices = _parent_indices
 
@@ -199,6 +209,72 @@ class EncodedDataset:
             np.where(codes >= 0, remap[np.clip(codes, 0, None)], -1),
             list(groups),
         )
+
+    # -- group-by key views ---------------------------------------------------
+
+    def group_codes_view(self, name: str) -> np.ndarray:
+        """Per-row int64 codes whose equality matches the row path's group keys.
+
+        Two rows receive the same code exactly when the row-at-a-time
+        ``group_by`` would place them in the same group for key column
+        ``name``:
+
+        * numeric columns group by float equality (``np.unique`` on the cached
+          float view; ``0.0`` and ``-0.0`` fold together like Python ``==``),
+          with every ``nan`` cell sharing one dedicated ``-1`` code;
+        * non-numeric columns group by their category codes, with missing
+          cells folded into the :data:`MISSING_KEY_SENTINEL` level — reusing
+          an existing level when a raw cell is literally that string, so the
+          row path's sentinel collision is reproduced bit-for-bit.
+
+        Absent columns (``row.get(name) -> None`` in the row path) are a
+        single all-missing group.  The result is cached per column.
+        """
+        cached = self._group_codes.get(name)
+        if cached is not None:
+            return cached
+        if name not in self.dataset:
+            codes = np.zeros(self.n_rows, dtype=np.int64)
+        elif self.dataset[name].is_numeric():
+            values, missing = self.numeric_view(name)
+            codes = np.full(values.shape, -1, dtype=np.int64)
+            present = ~missing
+            if present.any():
+                codes[present] = np.unique(values[present], return_inverse=True)[1]
+        else:
+            raw_codes, vocabulary, _ = self.codes_view(name)
+            codes, _ = merge_missing_level(raw_codes, vocabulary, MISSING_KEY_SENTINEL)
+        self._group_codes[name] = codes
+        return codes
+
+    def group_keys(self, keys: Sequence[str]) -> tuple[np.ndarray, int]:
+        """Composite group ids over ``keys`` in first-seen order.
+
+        Returns ``(group_ids, n_groups)`` where ``group_ids[i]`` numbers the
+        distinct key tuples by their first appearance down the rows — the
+        iteration order of the row path's ``dict.setdefault`` grouping — so a
+        result built group-by-group in id order has the same row order as the
+        row-at-a-time reference.  Cached per key tuple.
+        """
+        key = tuple(keys)
+        cached = self._group_keys.get(key)
+        if cached is not None:
+            return cached
+        columns = [self.group_codes_view(k) for k in key]
+        if len(columns) == 1:
+            _, first_index, inverse = np.unique(columns[0], return_index=True, return_inverse=True)
+        else:
+            stacked = np.stack(columns, axis=1)
+            _, first_index, inverse = np.unique(
+                stacked, axis=0, return_index=True, return_inverse=True
+            )
+        inverse = inverse.reshape(-1)
+        # np.unique numbers groups in sorted order; renumber by first occurrence.
+        rank = np.empty(first_index.size, dtype=np.int64)
+        rank[np.argsort(first_index, kind="stable")] = np.arange(first_index.size)
+        result = (rank[inverse], int(first_index.size))
+        self._group_keys[key] = result
+        return result
 
     def _slice_codes(self, name: str) -> tuple[np.ndarray, list[str], dict[str, int]]:
         parent_codes, parent_vocab, _ = self._parent.codes_view(name)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.exceptions import SchemaError
 from repro.tabular.dataset import Column, ColumnRole, ColumnType, Dataset, is_missing_value
+from repro.tabular.encoded import MISSING_KEY_SENTINEL, encode_dataset
 
 
 # ---------------------------------------------------------------------------
@@ -65,7 +66,7 @@ def sort_by(dataset: Dataset, columns: Sequence[str], descending: bool = False) 
 
 def _hashable(value: Any) -> Any:
     if is_missing_value(value):
-        return "\0<missing>"
+        return MISSING_KEY_SENTINEL
     return value
 
 
@@ -142,13 +143,24 @@ def group_by(
     dataset: Dataset,
     keys: Sequence[str],
     aggregations: Mapping[str, tuple[str, str]],
+    force_row: bool = False,
 ) -> Dataset:
     """Group rows by ``keys`` and compute aggregations.
 
     ``aggregations`` maps an output column name to a ``(source_column, agg)``
     pair, where ``agg`` is one of ``sum``, ``mean``, ``min``, ``max``,
     ``count``, ``std`` or ``median``.  Missing values are ignored inside each
-    group.
+    group; missing *key* cells form their own group, holding the missing value.
+
+    This is the shared aggregation primitive of the OLAP layer, and it follows
+    the library's two-tier protocol: when every aggregation source column is
+    numeric, the groups are computed from the dataset's cached encoded views
+    (:meth:`repro.tabular.encoded.EncodedDataset.group_keys`) and the measures
+    are reduced over contiguous sorted-scan segments of the float views —
+    bit-identical to the row-at-a-time reference, including the float
+    summation order, the first-seen group order and the first-row key values.
+    ``force_row=True`` is the escape hatch that routes to the retained
+    row-at-a-time reference implementation.
     """
     keys = list(keys)
     for key in keys:
@@ -160,12 +172,31 @@ def group_by(
         if agg not in _AGGREGATIONS:
             raise SchemaError(f"unknown aggregation {agg!r}; choose from {sorted(_AGGREGATIONS)}")
 
+    if not force_row and all(
+        dataset[source].is_numeric() for source, _ in aggregations.values()
+    ):
+        out_rows = _grouped_rows_encoded(dataset, keys, aggregations)
+    else:
+        out_rows = _grouped_rows_reference(dataset, keys, aggregations)
+
+    ctypes = {k: dataset[k].ctype for k in keys}
+    for out_name in aggregations:
+        ctypes[out_name] = ColumnType.NUMERIC
+    return Dataset.from_rows(out_rows, name=f"{dataset.name}_grouped", ctypes=ctypes)
+
+
+def _grouped_rows_reference(
+    dataset: Dataset,
+    keys: list[str],
+    aggregations: Mapping[str, tuple[str, str]],
+) -> list[dict[str, Any]]:
+    """Row-at-a-time reference grouping: the semantics the encoded path must match."""
     groups: dict[tuple, list[int]] = {}
     for i, row in enumerate(dataset.iter_rows()):
         groups.setdefault(tuple(_hashable(row[k]) for k in keys), []).append(i)
 
     out_rows: list[dict[str, Any]] = []
-    for group_key, indices in groups.items():
+    for _group_key, indices in groups.items():
         row: dict[str, Any] = {}
         first = dataset.row(indices[0])
         for key in keys:
@@ -178,10 +209,51 @@ def group_by(
             else:
                 row[out_name] = _AGGREGATIONS[agg](numeric) if numeric else float("nan")
         out_rows.append(row)
-    ctypes = {k: dataset[k].ctype for k in keys}
-    for out_name in aggregations:
-        ctypes[out_name] = ColumnType.NUMERIC
-    return Dataset.from_rows(out_rows, name=f"{dataset.name}_grouped", ctypes=ctypes)
+    return out_rows
+
+
+def _grouped_rows_encoded(
+    dataset: Dataset,
+    keys: list[str],
+    aggregations: Mapping[str, tuple[str, str]],
+) -> list[dict[str, Any]]:
+    """Vectorized grouping over the cached encoded views.
+
+    Group membership comes from the composite int64 key codes (first-seen
+    order, so the output row order matches the reference) and each measure is
+    cut into per-group contiguous segments of its float view by one stable
+    sort.  The per-group reductions then apply the *same* ``_AGGREGATIONS``
+    callables to the same Python float sequences as the reference path, which
+    keeps every float operation — summation order included — bit-identical.
+    """
+    encoded = encode_dataset(dataset)
+    group_ids, n_groups = encoded.group_keys(keys)
+    if n_groups == 0:
+        return []
+    order = np.argsort(group_ids, kind="stable")
+    counts = np.bincount(group_ids, minlength=n_groups)
+    starts = np.zeros(n_groups, dtype=np.intp)
+    np.cumsum(counts[:-1], out=starts[1:])
+    first_rows = order[starts]
+
+    out_rows: list[dict[str, Any]] = [
+        {key: dataset[key][first_rows[g]] for key in keys} for g in range(n_groups)
+    ]
+    sorted_ids = group_ids[order]
+    for out_name, (source, agg) in aggregations.items():
+        values, missing = encoded.numeric_view(source)
+        keep = ~missing[order]
+        present = values[order][keep]
+        present_counts = np.bincount(sorted_ids[keep], minlength=n_groups)
+        ends = np.cumsum(present_counts)
+        fn = _AGGREGATIONS[agg]
+        for g in range(n_groups):
+            xs = present[ends[g] - present_counts[g] : ends[g]].tolist()
+            if agg == "count":
+                out_rows[g][out_name] = float(len(xs))
+            else:
+                out_rows[g][out_name] = fn(xs) if xs else float("nan")
+    return out_rows
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,504 @@
+"""Row-vs-encoded equivalence harness for the OLAP/BI aggregation layer.
+
+Every OLAP operation has two execution paths: the vectorized encoded-core
+path (group keys from the cached int64 code arrays, measures reduced over
+sorted-scan segments of the float views) and the retained row-at-a-time
+reference, selected by the ``_force_row_olap`` escape hatch on :class:`Cube`
+(and the ``force_row`` parameter of ``group_by``).  The two must be
+**bit-identical**: same values (float bits included), same row order, same
+column order and types.  The harness also pins the missing-value semantics of
+every aggregation on both paths, the OLAP edge cases from the issue (empty
+dice, single-group roll-up, all-missing measure, multi-level drill-down
+ordering) and the no-mutation contract on the shared encoded views.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.bi import Cube, Dimension, KPI, Measure, cube_report, evaluate_kpis_by_level
+from repro.exceptions import ReproError, SchemaError
+from repro.tabular.dataset import ColumnType, Dataset
+from repro.tabular.encoded import encode_dataset
+from repro.tabular.transforms import group_by
+import repro.tabular.transforms as transforms_module
+
+AGGREGATIONS = ("sum", "mean", "min", "max", "count", "std", "median")
+
+
+# ---------------------------------------------------------------------------
+# Comparison helpers
+# ---------------------------------------------------------------------------
+
+def _bits(value):
+    """A bit-exact comparison key: floats by their IEEE-754 bytes."""
+    if isinstance(value, float):
+        return ("float", struct.pack("<d", value))
+    return (type(value).__name__, value)
+
+
+def _assert_identical_datasets(a: Dataset, b: Dataset):
+    """Exact equality: column names/order, ctypes, roles, row order, float bits."""
+    assert a.column_names == b.column_names, f"column order {a.column_names} != {b.column_names}"
+    assert a.n_rows == b.n_rows, f"row count {a.n_rows} != {b.n_rows}"
+    for name in a.column_names:
+        ca, cb = a[name], b[name]
+        assert ca.ctype == cb.ctype, f"{name}: ctype {ca.ctype} != {cb.ctype}"
+        assert ca.role == cb.role, f"{name}: role {ca.role} != {cb.role}"
+        for i, (x, y) in enumerate(zip(ca.tolist(), cb.tolist())):
+            assert _bits(x) == _bits(y), f"{name}[{i}]: {x!r} != {y!r}"
+
+
+def _forced(cube: Cube) -> Cube:
+    """A copy of ``cube`` routed to the row-at-a-time reference path."""
+    clone = Cube(cube.dataset, cube.dimensions, cube.measures, name=cube.name)
+    clone._force_row_olap = True
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+def _sales_dataset(n_rows: int = 240, seed: int = 5) -> Dataset:
+    """A mixed-key sales table with missing cells in keys and measures."""
+    rng = np.random.default_rng(seed)
+    regions = ["north", "south", "east"]
+    districts = ["d00", "d01", "d02", "d03", "d04", "d05", "d06"]
+    rows = []
+    for i in range(n_rows):
+        region = regions[int(rng.integers(len(regions)))]
+        district = districts[int(rng.integers(len(districts)))]
+        rows.append(
+            {
+                "region": None if rng.random() < 0.08 else region,
+                "district": None if rng.random() < 0.08 else district,
+                "year": float(2019 + int(rng.integers(3))) if rng.random() > 0.05 else None,
+                "flagged": bool(rng.random() < 0.4),
+                "amount": None if rng.random() < 0.15 else float(np.round(rng.uniform(-50, 500), 3)),
+                "rate": None if rng.random() < 0.1 else float(rng.uniform(0, 1)),
+            }
+        )
+    return Dataset.from_rows(
+        rows,
+        name="sales",
+        ctypes={
+            "region": ColumnType.CATEGORICAL,
+            "district": ColumnType.CATEGORICAL,
+            "year": ColumnType.NUMERIC,
+            "flagged": ColumnType.BOOLEAN,
+            "amount": ColumnType.NUMERIC,
+            "rate": ColumnType.NUMERIC,
+        },
+    )
+
+
+def _sales_cube(dataset: Dataset) -> Cube:
+    return Cube(
+        dataset,
+        dimensions=[
+            Dimension("place", ("region", "district")),
+            Dimension("year", ("year",)),
+            Dimension("flagged", ("flagged",)),
+        ],
+        measures=[
+            Measure("total", "amount", "sum"),
+            Measure("mean_rate", "rate", "mean"),
+            Measure("n", "amount", "count"),
+        ],
+    )
+
+
+@pytest.fixture
+def sales():
+    return _sales_dataset()
+
+
+@pytest.fixture
+def cube(sales):
+    return _sales_cube(sales)
+
+
+# ---------------------------------------------------------------------------
+# group_by equivalence
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("agg", AGGREGATIONS)
+def test_group_by_every_aggregation_identical(sales, agg):
+    aggs = {"out": ("amount", agg)}
+    _assert_identical_datasets(
+        group_by(sales, ["district"], aggs),
+        group_by(sales, ["district"], aggs, force_row=True),
+    )
+
+
+@pytest.mark.parametrize(
+    "keys",
+    [["region"], ["district"], ["year"], ["flagged"], ["region", "district"],
+     ["district", "year"], ["region", "district", "year", "flagged"]],
+)
+def test_group_by_key_combinations_identical(sales, keys):
+    aggs = {f"amount_{agg}": ("amount", agg) for agg in AGGREGATIONS}
+    aggs["rate_mean"] = ("rate", "mean")
+    _assert_identical_datasets(
+        group_by(sales, keys, aggs),
+        group_by(sales, keys, aggs, force_row=True),
+    )
+
+
+def test_group_by_missing_sentinel_collision_identical():
+    # A raw cell that is literally the row path's missing sentinel must share
+    # a group with the genuinely missing cells on both paths.
+    ds = Dataset.from_dict(
+        {"k": ["a", None, "\0<missing>", "a", None], "x": [1.0, 2.0, 3.0, 4.0, 5.0]},
+        ctypes={"k": ColumnType.CATEGORICAL, "x": ColumnType.NUMERIC},
+    )
+    fast = group_by(ds, ["k"], {"s": ("x", "sum")})
+    slow = group_by(ds, ["k"], {"s": ("x", "sum")}, force_row=True)
+    _assert_identical_datasets(fast, slow)
+    assert fast.n_rows == 2  # {"a"} and {missing, literal sentinel}
+    assert fast["s"].tolist() == [1.0 + 4.0, 2.0 + 3.0 + 5.0]
+
+
+def test_group_by_numeric_key_nan_group_identical():
+    ds = Dataset.from_dict(
+        {"k": [1.0, None, 2.0, 1.0, None], "x": [10.0, 20.0, 30.0, 40.0, 50.0]}
+    )
+    fast = group_by(ds, ["k"], {"s": ("x", "sum")})
+    slow = group_by(ds, ["k"], {"s": ("x", "sum")}, force_row=True)
+    _assert_identical_datasets(fast, slow)
+    assert fast.n_rows == 3  # 1.0, the nan group, 2.0 — in first-seen order
+    assert fast["s"].tolist() == [50.0, 70.0, 30.0]
+
+
+def test_group_by_float_summation_order_is_sequential(sales):
+    # The per-group sum must replay Python's left-to-right summation, not a
+    # pairwise reduction: compare against an explicit sequential loop.
+    grouped = group_by(sales, ["district"], {"s": ("amount", "sum")})
+    by_key = {}
+    for row in sales.iter_rows():
+        key = "\0<missing>" if row["district"] is None else row["district"]
+        amount = row["amount"]
+        if amount is not None and not (isinstance(amount, float) and np.isnan(amount)):
+            by_key.setdefault(key, []).append(float(amount))
+    for row in grouped.iter_rows():
+        key = "\0<missing>" if row["district"] is None else row["district"]
+        expected = 0.0
+        for value in by_key.get(key, []):
+            expected = expected + value
+        if by_key.get(key):
+            assert struct.pack("<d", row["s"]) == struct.pack("<d", expected)
+
+
+def test_group_by_non_numeric_measure_falls_back_to_reference(monkeypatch):
+    calls = {"encoded": 0, "reference": 0}
+    real_encoded = transforms_module._grouped_rows_encoded
+    real_reference = transforms_module._grouped_rows_reference
+    monkeypatch.setattr(
+        transforms_module,
+        "_grouped_rows_encoded",
+        lambda *a, **k: calls.__setitem__("encoded", calls["encoded"] + 1) or real_encoded(*a, **k),
+    )
+    monkeypatch.setattr(
+        transforms_module,
+        "_grouped_rows_reference",
+        lambda *a, **k: calls.__setitem__("reference", calls["reference"] + 1)
+        or real_reference(*a, **k),
+    )
+    # A categorical column holding float-parseable strings: only the
+    # row-at-a-time reference defines aggregation over it.
+    ds = Dataset.from_dict(
+        {"g": ["a", "b", "a"], "x": [1.0, 2.0, 3.0], "code": ["10", "20", "30"]},
+        ctypes={"g": ColumnType.CATEGORICAL, "code": ColumnType.CATEGORICAL},
+    )
+    group_by(ds, ["g"], {"m": ("x", "mean")})
+    assert calls == {"encoded": 1, "reference": 0}
+    group_by(ds, ["g"], {"m": ("code", "sum")})
+    assert calls == {"encoded": 1, "reference": 1}
+    group_by(ds, ["g"], {"m": ("x", "mean")}, force_row=True)
+    assert calls == {"encoded": 1, "reference": 2}
+
+
+# ---------------------------------------------------------------------------
+# Cube operation equivalence
+# ---------------------------------------------------------------------------
+
+def test_cube_aggregate_and_grand_total_identical(cube):
+    forced = _forced(cube)
+    _assert_identical_datasets(cube.aggregate(["district"]), forced.aggregate(["district"]))
+    _assert_identical_datasets(
+        cube.aggregate(["region", "year"]), forced.aggregate(["region", "year"])
+    )
+    _assert_identical_datasets(cube.aggregate(), forced.aggregate())
+
+
+def test_cube_rollup_and_drill_down_identical(cube):
+    forced = _forced(cube)
+    _assert_identical_datasets(cube.rollup("place"), forced.rollup("place"))
+    _assert_identical_datasets(cube.drill_down("place"), forced.drill_down("place"))
+    _assert_identical_datasets(cube.rollup("year"), forced.rollup("year"))
+
+
+def test_cube_pivot_identical(cube):
+    forced = _forced(cube)
+    _assert_identical_datasets(cube.pivot("district", "year"), forced.pivot("district", "year"))
+    _assert_identical_datasets(
+        cube.pivot("region", "flagged", measure_name="mean_rate"),
+        forced.pivot("region", "flagged", measure_name="mean_rate"),
+    )
+
+
+def test_cube_slice_identical(cube):
+    forced = _forced(cube)
+    for level, value in (("district", "d03"), ("year", 2020.0), ("flagged", True)):
+        fast = cube.slice(level, value)
+        slow = forced.slice(level, value)
+        _assert_identical_datasets(fast.dataset, slow.dataset)
+        _assert_identical_datasets(fast.aggregate(["region"]), slow.aggregate(["region"]))
+    # A sub-cube of an encoded cube stays on the encoded path; of a forced
+    # cube, on the row path.
+    assert cube.slice("flagged", True)._force_row_olap is False
+    assert forced.slice("flagged", True)._force_row_olap is True
+
+
+def test_cube_slice_exotic_numeric_candidates_match_row_semantics(cube):
+    # Decimal/Fraction compare equal to float cells through Python ==; the
+    # encoded mask must keep exactly the rows the row path keeps.
+    from decimal import Decimal
+    from fractions import Fraction
+
+    forced = _forced(cube)
+    for value in (Decimal("2020"), Fraction(2021, 1)):
+        fast = cube.slice("year", value)
+        slow = forced.slice("year", value)
+        _assert_identical_datasets(fast.dataset, slow.dataset)
+    diced = cube.dice({"year": [Decimal("2019"), 2021.0]})
+    _assert_identical_datasets(
+        diced.dataset, forced.dice({"year": [Decimal("2019"), 2021.0]}).dataset
+    )
+
+
+def test_cube_slice_type_mismatch_matches_row_semantics(cube):
+    # Categorical cells are strings: slicing with a non-string value matches
+    # nothing on the row path (str == int is False) and must do the same on
+    # the encoded path — both raise because every row is filtered out.
+    with pytest.raises(SchemaError):
+        _forced(cube).slice("district", 3)
+    with pytest.raises(SchemaError):
+        cube.slice("district", 3)
+
+
+def test_cube_dice_identical(cube):
+    forced = _forced(cube)
+    selections = {"district": ["d01", "d02", "d05"], "flagged": [True], "year": [2019.0, 2021.0]}
+    fast = cube.dice(selections)
+    slow = forced.dice(selections)
+    _assert_identical_datasets(fast.dataset, slow.dataset)
+    _assert_identical_datasets(fast.aggregate(["district"]), slow.aggregate(["district"]))
+
+
+def test_cube_empty_dice_selections_identical(cube):
+    # dice({}) keeps every row but must still return a *fresh* sub-cube with
+    # the row path's name, on both paths.
+    fast = cube.dice({})
+    slow = _forced(cube).dice({})
+    assert fast is not cube and slow.name == fast.name == f"{cube.name}_dice"
+    _assert_identical_datasets(fast.dataset, slow.dataset)
+
+
+def test_cube_measure_summary_identical(cube):
+    assert cube.measure_summary() == _forced(cube).measure_summary()
+
+
+# ---------------------------------------------------------------------------
+# Missing-value semantics (pinned on both paths)
+# ---------------------------------------------------------------------------
+
+def test_aggregation_missing_semantics_pinned():
+    # Group "a": values 1.0, missing, 3.0 → count ignores the missing cell,
+    # mean divides by the 2 present values.  Group "b": all missing → count 0,
+    # every other aggregation nan.
+    ds = Dataset.from_dict(
+        {
+            "g": ["a", "a", "a", "b", "b"],
+            "x": [1.0, None, 3.0, None, float("nan")],
+        },
+        ctypes={"g": ColumnType.CATEGORICAL, "x": ColumnType.NUMERIC},
+    )
+    aggs = {f"x_{agg}": ("x", agg) for agg in AGGREGATIONS}
+    for force in (False, True):
+        grouped = group_by(ds, ["g"], aggs, force_row=force)
+        by_group = {row["g"]: row for row in grouped.iter_rows()}
+        a, b = by_group["a"], by_group["b"]
+        assert a["x_count"] == 2.0 and a["x_sum"] == 4.0 and a["x_mean"] == 2.0
+        assert a["x_min"] == 1.0 and a["x_max"] == 3.0
+        assert b["x_count"] == 0.0
+        for agg in ("sum", "mean", "min", "max", "std", "median"):
+            assert np.isnan(b[f"x_{agg}"]), f"b.{agg} should be nan on force_row={force}"
+    _assert_identical_datasets(
+        group_by(ds, ["g"], aggs), group_by(ds, ["g"], aggs, force_row=True)
+    )
+
+
+def test_cube_count_and_mean_ignore_missing(cube, sales):
+    grouped = cube.aggregate(["district"])
+    total_count = sum(grouped["n"].tolist())
+    present = [v for v in sales["amount"].tolist() if v is not None and not np.isnan(v)]
+    assert total_count == float(len(present))
+
+
+# ---------------------------------------------------------------------------
+# OLAP edge cases (both paths)
+# ---------------------------------------------------------------------------
+
+def test_empty_dice_raises_on_both_paths(cube):
+    selections = {"district": ["no-such-district"]}
+    with pytest.raises(SchemaError):
+        cube.dice(selections)
+    with pytest.raises(SchemaError):
+        _forced(cube).dice(selections)
+
+
+def test_single_group_rollup_both_paths():
+    ds = Dataset.from_dict(
+        {"g": ["only"] * 6, "x": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]},
+        ctypes={"g": ColumnType.CATEGORICAL},
+    )
+    cube = Cube(ds, [Dimension("g", ("g",))], [Measure("s", "x", "sum")])
+    fast = cube.rollup("g")
+    slow = _forced(cube).rollup("g")
+    _assert_identical_datasets(fast, slow)
+    assert fast.n_rows == 1 and fast["s"][0] == 21.0
+
+
+def test_all_missing_measure_column_both_paths():
+    ds = Dataset.from_dict(
+        {"g": ["a", "b", "a"], "x": [None, None, None]},
+        ctypes={"g": ColumnType.CATEGORICAL, "x": ColumnType.NUMERIC},
+    )
+    cube = Cube(
+        ds,
+        [Dimension("g", ("g",))],
+        [Measure("s", "x", "sum"), Measure("n", "x", "count"), Measure("m", "x", "mean")],
+    )
+    fast = cube.aggregate(["g"])
+    slow = _forced(cube).aggregate(["g"])
+    _assert_identical_datasets(fast, slow)
+    assert fast["n"].tolist() == [0.0, 0.0]
+    assert all(np.isnan(v) for v in fast["s"].tolist() + fast["m"].tolist())
+
+
+def test_multi_level_drill_down_ordering(cube, sales):
+    # Drilling the place dimension to its finest level must list the groups in
+    # first-seen row order of the district column — the row path's dict order.
+    drilled = cube.drill_down("place")
+    expected, seen = [], set()
+    for value in sales["district"].tolist():
+        key = "\0<missing>" if value is None else value
+        if key not in seen:
+            seen.add(key)
+            expected.append(None if key == "\0<missing>" else value)
+    assert drilled["district"].tolist() == expected
+    _assert_identical_datasets(drilled, _forced(cube).drill_down("place"))
+
+
+def test_cube_operations_do_not_mutate_shared_views(cube):
+    encoded = encode_dataset(cube.dataset)
+    snapshot = {}
+    for name in cube.dataset.column_names:
+        values, missing = encoded.numeric_view(name)
+        codes, vocabulary, _ = encoded.codes_view(name)
+        snapshot[name] = (values.copy(), missing.copy(), codes.copy(), list(vocabulary))
+    cube.aggregate(["district"])
+    cube.aggregate()
+    cube.pivot("district", "year")
+    cube.slice("flagged", True).aggregate(["region"])
+    cube.dice({"district": ["d01", "d02"]}).aggregate(["year"])
+    evaluate_kpis_by_level([KPI("rate", "rate", target=0.5)], cube, "district")
+    for name, (values, missing, codes, vocabulary) in snapshot.items():
+        new_values, new_missing = encoded.numeric_view(name)
+        new_codes, new_vocabulary, _ = encoded.codes_view(name)
+        assert np.array_equal(values, new_values, equal_nan=True), f"{name}: numeric view mutated"
+        assert np.array_equal(missing, new_missing), f"{name}: missing mask mutated"
+        assert np.array_equal(codes, new_codes), f"{name}: codes mutated"
+        assert vocabulary == new_vocabulary, f"{name}: vocabulary mutated"
+
+
+# ---------------------------------------------------------------------------
+# KPI / reporting consumers
+# ---------------------------------------------------------------------------
+
+def test_evaluate_kpis_by_level_identical(cube):
+    kpis = [
+        KPI("mean_rate", "rate", target=0.5),
+        KPI("mean_amount", "amount", target=100.0, higher_is_better=False, tolerance=0.2),
+    ]
+    fast = evaluate_kpis_by_level(kpis, cube, "district")
+    slow = evaluate_kpis_by_level(kpis, _forced(cube), "district")
+    _assert_identical_datasets(fast, slow)
+    assert fast.column_names == [
+        "district", "mean_rate", "mean_rate_status", "mean_amount", "mean_amount_status",
+    ]
+    assert set(fast["mean_rate_status"].distinct()) <= {"good", "warning", "bad"}
+
+
+def test_evaluate_kpis_by_level_validation(cube):
+    with pytest.raises(ReproError):
+        evaluate_kpis_by_level([], cube, "district")
+    with pytest.raises(ReproError):
+        evaluate_kpis_by_level([KPI("f", lambda ds: 1.0, target=1.0)], cube, "district")
+    with pytest.raises(ReproError):
+        evaluate_kpis_by_level([KPI("g", "ghost", target=1.0)], cube, "district")
+    with pytest.raises(ReproError):
+        evaluate_kpis_by_level([KPI("c", "region", target=1.0)], cube, "district")
+    # Name collisions would silently overwrite scoreboard columns: reject them.
+    with pytest.raises(ReproError):
+        evaluate_kpis_by_level([KPI("district", "rate", target=1.0)], cube, "district")
+    with pytest.raises(ReproError):
+        evaluate_kpis_by_level(
+            [KPI("r", "rate", target=1.0), KPI("r", "amount", target=1.0)], cube, "district"
+        )
+
+
+def test_cube_report_identical_rendering(cube):
+    fast = cube_report(cube, levels=["district", "year"])
+    slow = cube_report(_forced(cube), levels=["district", "year"])
+    for fmt in ("text", "markdown", "html"):
+        assert fast.render(fmt) == slow.render(fmt)
+    text = fast.render("text")
+    assert "Grand totals" in text and "By district" in text and "By year" in text
+
+
+def test_cube_report_defaults_to_finest_levels(cube):
+    report = cube_report(cube)
+    titles = [section.title for section in report.sections]
+    assert titles == ["Grand totals", "By district", "By year", "By flagged"]
+
+
+# ---------------------------------------------------------------------------
+# Encoding reuse
+# ---------------------------------------------------------------------------
+
+def test_sliced_cube_reuses_parent_encoding(cube):
+    sliced = cube.slice("flagged", True)
+    encoded = getattr(sliced.dataset, "_encoded_cache", None)
+    assert encoded is not None, "slice should pre-wire the sub-cube's encoding"
+    assert encoded._parent is encode_dataset(cube.dataset)
+
+
+def test_take_slices_group_codes_consistently(sales):
+    # Group codes computed on a fold view must induce the same grouping as
+    # encoding the fold from scratch.
+    encoded = encode_dataset(sales)
+    indices = np.arange(0, sales.n_rows, 2)
+    fold = encoded.take(indices)
+    fold_encoded = getattr(fold, "_encoded_cache")
+    fresh = encode_dataset(fold.copy())
+    for keys in (["district"], ["region", "year"]):
+        a_ids, a_n = fold_encoded.group_keys(keys)
+        b_ids, b_n = fresh.group_keys(keys)
+        assert a_n == b_n
+        assert np.array_equal(a_ids, b_ids)
