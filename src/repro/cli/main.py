@@ -19,8 +19,12 @@ from repro.core import Advisor, ExperimentPlan, ExperimentRunner, KnowledgeBase,
 from repro.core.rules import guidance_report
 from repro.datasets import CIVIC_GENERATORS
 from repro.exceptions import ReproError
-from repro.lod import to_ntriples, to_turtle
+from repro.lod import parse_ntriples, to_ntriples, to_turtle
+from repro.lod.linker import EntityLinker, LinkRule
 from repro.lod.publish import publish_dataset, publish_quality_profile
+from repro.lod.tabulate import tabulate_entities
+from repro.lod.terms import IRI, Triple
+from repro.lod.vocabulary import OWL
 from repro.mining import CLASSIFIER_REGISTRY
 from repro.mining.validation import cross_validate, holdout_evaluate, train_test_split
 from repro.quality import measure_quality, quality_report
@@ -181,6 +185,60 @@ def _cmd_publish(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lod_tabulate(args: argparse.Namespace) -> int:
+    from repro.tabular.io_csv import write_csv
+
+    graph = parse_ntriples(Path(args.graph))
+    properties = [IRI(p) for p in _parse_list(args.properties)] if args.properties else None
+    dataset = tabulate_entities(
+        graph,
+        IRI(args.type),
+        properties=properties,
+        multivalued=args.multivalued,
+        min_property_coverage=args.min_coverage,
+        force_row=args.force_row,
+    )
+    if args.output:
+        path = write_csv(dataset, args.output)
+        print(f"tabulated {dataset.n_rows} rows x {dataset.n_columns} columns to {path}")
+    else:
+        from repro.bi.reporting import dataset_to_table_text
+
+        print(dataset_to_table_text(dataset, max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_lod_link(args: argparse.Namespace) -> int:
+    left_graph = parse_ntriples(Path(args.left))
+    right_graph = parse_ntriples(Path(args.right))
+    left_properties = _parse_list(args.property)
+    right_properties = _parse_list(args.right_property) if args.right_property else left_properties
+    if len(left_properties) != len(right_properties):
+        raise ReproError("--property and --right-property need the same number of predicates")
+    rules = [
+        LinkRule(IRI(left), IRI(right))
+        for left, right in zip(left_properties, right_properties)
+    ]
+    linker = EntityLinker(rules, threshold=args.threshold)
+    linker._force_pairwise_link = args.force_pairwise
+    links = linker.link(
+        left_graph, IRI(args.type), right_graph, IRI(args.right_type or args.type)
+    )
+    for link in links:
+        print(f"{link.left}\towl:sameAs\t{link.right}\t{link.score:.4f}")
+    if args.output:
+        from repro.lod.graph import Graph
+
+        sameas = Graph("http://openbi.example.org/graph/links")
+        for link in links:
+            sameas.add_triple(Triple(link.left, OWL.sameAs, link.right))
+        to_ntriples(sameas, args.output)
+        print(f"wrote {len(links)} owl:sameAs links to {args.output}")
+    elif not links:
+        print("no links above the threshold")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.tabular.io_csv import write_csv
 
@@ -263,6 +321,37 @@ def build_parser() -> argparse.ArgumentParser:
     publish.add_argument("--with-quality", action="store_true", help="also publish the measured quality profile")
     publish.add_argument("--output", help="write to this file instead of stdout")
     publish.set_defaults(func=_cmd_publish)
+
+    lod = subparsers.add_parser("lod", help="work with Linked Open Data graphs (tabulate, link)")
+    lod_sub = lod.add_subparsers(dest="lod_command", required=True)
+
+    tabulate = lod_sub.add_parser("tabulate", help="pivot the instances of a class into a CSV dataset")
+    tabulate.add_argument("graph", help="N-Triples file holding the LOD graph")
+    tabulate.add_argument("--type", required=True, help="IRI of the class whose instances become rows")
+    tabulate.add_argument("--properties", help="comma-separated predicate IRIs to use as columns")
+    tabulate.add_argument("--multivalued", choices=("first", "count"), default="first")
+    tabulate.add_argument("--min-coverage", type=float, default=0.0,
+                          help="drop discovered properties present on fewer than this fraction of rows")
+    tabulate.add_argument("--output", help="CSV path to write (default: print a table)")
+    tabulate.add_argument("--max-rows", type=int, default=25, help="rows to print without --output")
+    tabulate.add_argument("--force-row", action="store_true",
+                          help="use the row-at-a-time reference tier instead of the columnar tier")
+    tabulate.set_defaults(func=_cmd_lod_tabulate)
+
+    link = lod_sub.add_parser("link", help="discover owl:sameAs links between two graphs")
+    link.add_argument("left", help="N-Triples file of the left graph")
+    link.add_argument("right", help="N-Triples file of the right graph")
+    link.add_argument("--type", required=True, help="IRI of the class to link instances of")
+    link.add_argument("--right-type", help="class IRI on the right side (default: --type)")
+    link.add_argument("--property", required=True,
+                      help="comma-separated predicate IRIs compared on the left side")
+    link.add_argument("--right-property",
+                      help="predicates compared on the right side (default: same as --property)")
+    link.add_argument("--threshold", type=float, default=0.85, help="minimum similarity in (0, 1]")
+    link.add_argument("--output", help="write the discovered links as N-Triples to this file")
+    link.add_argument("--force-pairwise", action="store_true",
+                      help="use the exhaustive pairwise reference tier instead of blocking")
+    link.set_defaults(func=_cmd_lod_link)
 
     datasets = subparsers.add_parser("datasets", help="generate one of the built-in civic datasets as CSV")
     datasets.add_argument("name", help=f"one of {sorted(CIVIC_GENERATORS)}")

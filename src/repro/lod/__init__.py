@@ -21,11 +21,11 @@ dependencies:
 
 from repro.lod.terms import IRI, Literal, BNode, Triple
 from repro.lod.vocabulary import Namespace, RDF, RDFS, XSD, OWL, DCTERMS, FOAF, QB, DQV, OPENBI
-from repro.lod.triples import TripleStore
+from repro.lod.triples import ColumnarTriples, TripleStore
 from repro.lod.graph import Graph
-from repro.lod.query import Variable, TriplePattern, select
+from repro.lod.query import Variable, TriplePattern, ask, count, select
 from repro.lod.serialization import to_ntriples, to_turtle, parse_ntriples
-from repro.lod.linker import EntityLinker, LinkRule
+from repro.lod.linker import EntityLinker, Link, LinkRule
 from repro.lod.tabulate import tabulate_entities
 from repro.lod.publish import publish_dataset, publish_quality_profile, publish_patterns
 
@@ -45,14 +45,18 @@ __all__ = [
     "DQV",
     "OPENBI",
     "TripleStore",
+    "ColumnarTriples",
     "Graph",
     "Variable",
     "TriplePattern",
     "select",
+    "ask",
+    "count",
     "to_ntriples",
     "to_turtle",
     "parse_ntriples",
     "EntityLinker",
+    "Link",
     "LinkRule",
     "tabulate_entities",
     "publish_dataset",

@@ -9,6 +9,12 @@ from repro.lod.terms import IRI, BNode, Literal, Object, Subject, Triple, coerce
 from repro.lod.triples import TripleStore
 from repro.lod.vocabulary import DEFAULT_PREFIXES, Namespace, RDF, RDFS
 
+#: Hoisted structural IRIs: every ``RDF.type`` / ``RDFS.label`` attribute
+#: access constructs and validates a fresh IRI, which adds up on per-subject
+#: helpers like :meth:`Graph.label`.
+_RDF_TYPE = RDF.type
+_RDFS_LABEL = RDFS.label
+
 
 class Graph:
     """A Linked Open Data graph.
@@ -20,9 +26,18 @@ class Graph:
     * namespace prefix bindings used during Turtle serialisation;
     * convenience methods to describe resources (`add_resource`) and read
       back property values.
+
+    Setting ``graph._force_row_select = True`` routes every
+    :mod:`repro.lod.query` evaluation on this graph through the
+    binding-at-a-time reference tier instead of the vectorized id-column
+    join (the LOD counterpart of ``Cube._force_row_olap``).
     """
 
+    #: Escape hatch: force the reference tier for queries on this graph.
+    _force_row_select = False
+
     def __init__(self, identifier: str = "http://openbi.example.org/graph/default") -> None:
+        """Create an empty graph named by ``identifier``."""
         self.identifier = identifier
         self.store = TripleStore()
         self._prefixes: dict[str, Namespace] = dict(DEFAULT_PREFIXES)
@@ -38,6 +53,7 @@ class Graph:
 
     @property
     def prefixes(self) -> dict[str, Namespace]:
+        """A copy of the prefix → namespace bindings."""
         return dict(self._prefixes)
 
     # -- mutation ----------------------------------------------------------------
@@ -49,12 +65,15 @@ class Graph:
         return triple
 
     def add_triple(self, triple: Triple) -> None:
+        """Add an already-constructed triple."""
         self.store.add(triple)
 
     def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return how many were new."""
         return self.store.update(triples)
 
     def remove(self, triple: Triple) -> bool:
+        """Remove a triple if present; return whether something was removed."""
         return self.store.discard(triple)
 
     def new_bnode(self) -> BNode:
@@ -75,9 +94,9 @@ class Graph:
         coerced to an RDF term.
         """
         if rdf_type is not None:
-            self.add(subject, RDF.type, rdf_type)
+            self.add(subject, _RDF_TYPE, rdf_type)
         if label is not None:
-            self.add(subject, RDFS.label, Literal(label))
+            self.add(subject, _RDFS_LABEL, Literal(label))
         for predicate, value in (properties or {}).items():
             values = value if isinstance(value, (list, tuple, set)) else [value]
             for item in values:
@@ -95,12 +114,15 @@ class Graph:
     # -- read access -----------------------------------------------------------------
 
     def __len__(self) -> int:
+        """Number of triples in the graph."""
         return len(self.store)
 
     def __iter__(self):
+        """Iterate over all triples."""
         return iter(self.store)
 
     def __contains__(self, triple: Triple) -> bool:
+        """Whether the graph holds ``triple``."""
         return triple in self.store
 
     def triples(self, subject=None, predicate=None, obj=None):
@@ -109,7 +131,7 @@ class Graph:
 
     def subjects_of_type(self, rdf_type: IRI) -> list[Subject]:
         """All subjects declared with ``rdf:type rdf_type``."""
-        return self.store.subjects(RDF.type, rdf_type)
+        return self.store.subjects(_RDF_TYPE, rdf_type)
 
     def properties_of(self, subject: Subject) -> dict[IRI, list[Object]]:
         """All (predicate → objects) pairs describing ``subject``."""
@@ -127,13 +149,13 @@ class Graph:
 
     def label(self, subject: Subject) -> str | None:
         """The ``rdfs:label`` of a subject, if any."""
-        value = self.value(subject, RDFS.label)
+        value = self.value(subject, _RDFS_LABEL)
         return str(value) if value is not None else None
 
     def types(self) -> dict[IRI, int]:
         """Histogram of rdf:type → number of instances in the graph."""
         counts: dict[IRI, int] = {}
-        for triple in self.store.match(None, RDF.type, None):
+        for triple in self.store.match(None, _RDF_TYPE, None):
             if isinstance(triple.object, IRI):
                 counts[triple.object] = counts.get(triple.object, 0) + 1
         return counts
@@ -146,6 +168,7 @@ class Graph:
         return counts
 
     def copy(self, identifier: str | None = None) -> "Graph":
+        """Return an independent copy (optionally under a new identifier)."""
         clone = Graph(identifier or self.identifier)
         clone._prefixes = dict(self._prefixes)
         clone.store = self.store.copy()

@@ -19,6 +19,7 @@ from repro.tabular.dataset import Dataset, is_missing_value
 
 
 def _slug(text: str) -> str:
+    """Turn free text into an IRI-safe slug."""
     out = "".join(ch if ch.isalnum() else "-" for ch in str(text).lower())
     while "--" in out:
         out = out.replace("--", "-")

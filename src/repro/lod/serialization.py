@@ -34,6 +34,7 @@ def _typed_literal(literal: Literal) -> Literal:
 
 
 def _term_n3(term: Object) -> str:
+    """N-Triples form of a term, typing plain literals on the way out."""
     if isinstance(term, Literal):
         return _typed_literal(term).n3()
     return term.n3()
@@ -52,6 +53,7 @@ def to_ntriples(graph: Graph, path: str | Path | None = None) -> str:
 
 
 def _qname(iri: IRI, prefixes) -> str | None:
+    """The ``prefix:local`` form of an IRI under the bound prefixes, if any."""
     for prefix, namespace in prefixes.items():
         if iri in namespace:
             local = iri.value[len(namespace.prefix):]
@@ -66,6 +68,7 @@ def to_turtle(graph: Graph, path: str | Path | None = None) -> str:
     used_prefixes: set[str] = set()
 
     def render(term: Object) -> str:
+        """Render a term as Turtle, preferring qnames and typed literals."""
         if isinstance(term, IRI):
             qname = _qname(term, prefixes)
             if qname is not None:
@@ -122,13 +125,38 @@ _NT_LINE = re.compile(
 )
 
 
+_NT_ESCAPES = {"t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f", '"': '"', "'": "'", "\\": "\\"}
+
+_NT_ESCAPE_RE = re.compile(r"\\(u[0-9A-Fa-f]{4}|U[0-9A-Fa-f]{8}|.)")
+
+
+def _decode_escape(match: "re.Match[str]") -> str:
+    """Decode one ECHAR (``\\n`` …) or UCHAR (``\\uXXXX``/``\\UXXXXXXXX``) escape."""
+    body = match.group(1)
+    if body[0] in "uU" and len(body) > 1:
+        code_point = int(body[1:], 16)
+        if code_point > 0x10FFFF:
+            raise LODError(f"code point out of range in escape {match.group(0)!r}")
+        return chr(code_point)
+    return _NT_ESCAPES.get(body, "\\" + body)  # unknown escapes pass through verbatim
+
+
 def _unescape(text: str) -> str:
-    return (
-        text.replace("\\n", "\n").replace("\\r", "\r").replace('\\"', '"').replace("\\\\", "\\")
-    )
+    """Undo N-Triples string escaping.
+
+    Decoded in one left-to-right pass: sequential ``str.replace`` calls
+    corrupt strings whose *decoded* form contains a backslash followed by an
+    escape letter (e.g. the two characters ``\\n`` round-trip through the
+    writer as ``\\\\n``, which a naive ``replace("\\\\n", newline)`` then
+    turns into a real newline).  ``\\uXXXX``/``\\UXXXXXXXX`` escapes — the
+    default non-ASCII encoding of mainstream serializers — decode to their
+    code points.
+    """
+    return _NT_ESCAPE_RE.sub(_decode_escape, text)
 
 
 def _parse_literal(lexical: str, language: str | None, datatype: str | None) -> Literal:
+    """Build a literal from its lexical form, decoding known XSD datatypes."""
     text = _unescape(lexical)
     if language:
         return Literal(text, language=language)
@@ -159,13 +187,16 @@ def parse_ntriples(source: str | Path, identifier: str | None = None) -> Graph:
         if not match:
             raise LODError(f"invalid N-Triples at line {line_number}: {raw_line!r}")
         (s_iri, s_bnode, p_iri, o_iri, o_bnode, o_lex, o_lang, o_dt) = match.groups()
-        subject: Subject = IRI(s_iri) if s_iri else BNode(s_bnode)
-        predicate = IRI(p_iri)
-        if o_iri:
-            obj: Object = IRI(o_iri)
-        elif o_bnode:
-            obj = BNode(o_bnode)
-        else:
-            obj = _parse_literal(o_lex or "", o_lang, o_dt)
+        try:
+            subject: Subject = IRI(s_iri) if s_iri else BNode(s_bnode)
+            predicate = IRI(p_iri)
+            if o_iri:
+                obj: Object = IRI(o_iri)
+            elif o_bnode:
+                obj = BNode(o_bnode)
+            else:
+                obj = _parse_literal(o_lex or "", o_lang, o_dt)
+        except LODError as exc:
+            raise LODError(f"invalid N-Triples at line {line_number}: {exc}") from None
         graph.add_triple(Triple(subject, predicate, obj))
     return graph

@@ -6,17 +6,42 @@ instances becomes a column.  Because LOD describes entities with many loosely
 structured properties, the resulting dataset is naturally *high-dimensional*
 and *sparse* — exactly the situation the paper identifies as the hard case for
 non-expert data miners (§1).
+
+Assembly follows the two-tier protocol (``docs/encoded-core.md``):
+
+* the **reference tier** builds row dictionaries cell by cell through the
+  store's dict indexes and hands them to ``Dataset.from_rows``
+  (:func:`_tabulate_rows_reference`);
+* the **columnar tier** (default) cuts each property column directly out of
+  the interned id arrays of :class:`~repro.lod.triples.ColumnarTriples`,
+  converts each *distinct* object term to a cell once, and — because the
+  assembly already knows every cell's category id — pre-seeds the resulting
+  dataset's cached :class:`~repro.tabular.encoded.EncodedDataset` so the
+  downstream pipeline (quality profile → advisor → mining → cube) never
+  re-encodes what the tabulation already encoded.
+
+Both tiers produce bit-identical datasets (cells, column order, ctypes,
+roles); ``tabulate_entities(..., force_row=True)`` routes through the
+reference tier.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.exceptions import LODError
 from repro.lod.graph import Graph
 from repro.lod.terms import IRI, BNode, Literal, Object
 from repro.lod.vocabulary import OWL, RDF, RDFS
-from repro.tabular.dataset import ColumnRole, Dataset
+from repro.tabular.dataset import Column, ColumnRole, Dataset, is_missing_value
+from repro.tabular.encoded import encode_dataset
+
+
+#: Predicates that never become property columns (hoisted: every Namespace
+#: attribute access constructs and validates a fresh IRI).
+_STRUCTURAL_PREDICATES = (RDF.type, RDFS.label, OWL.sameAs)
 
 
 def _object_to_cell(obj: Object):
@@ -31,6 +56,7 @@ def _object_to_cell(obj: Object):
 
 
 def _column_name(predicate: IRI, graph: Graph) -> str:
+    """Column name for a predicate: its label when present, else its local name."""
     label = graph.label(predicate)
     if label:
         return label.strip().replace(" ", "_").lower()
@@ -45,6 +71,7 @@ def tabulate_entities(
     multivalued: str = "first",
     follow_same_as: bool = True,
     min_property_coverage: float = 0.0,
+    force_row: bool = False,
 ) -> Dataset:
     """Build a :class:`~repro.tabular.dataset.Dataset` from the instances of a class.
 
@@ -70,6 +97,9 @@ def tabulate_entities(
         Drop auto-discovered property columns present on fewer than this
         fraction of rows (mitigates extreme sparsity); explicit ``properties``
         are never dropped.
+    force_row:
+        Assemble through the row-at-a-time reference tier instead of the
+        columnar tier (the result is bit-identical either way).
     """
     if multivalued not in ("first", "count"):
         raise LODError(f"unknown multivalued policy {multivalued!r}")
@@ -79,27 +109,19 @@ def tabulate_entities(
 
     # Merge owl:sameAs equivalents into their canonical (first-listed) subject.
     merged_from: dict = {s: [s] for s in subjects}
-    if follow_same_as:
+    same_as = _STRUCTURAL_PREDICATES[2]
+    if follow_same_as and graph.store.predicate_in_use(same_as):
         canonical = set(subjects)
         for subject in subjects:
-            for obj in graph.store.objects(subject, OWL.sameAs):
+            for obj in graph.store.objects(subject, same_as):
                 if isinstance(obj, (IRI, BNode)) and obj not in canonical:
                     merged_from[subject].append(obj)
 
-    explicit = properties is not None
     if properties is None:
-        discovered: dict[IRI, int] = {}
-        for subject in subjects:
-            for source in merged_from[subject]:
-                for predicate in graph.store.predicates(source):
-                    if predicate in (RDF.type, RDFS.label, OWL.sameAs):
-                        continue
-                    discovered[predicate] = discovered.get(predicate, 0) + 1
-        properties = [
-            p
-            for p, covered in sorted(discovered.items(), key=lambda kv: (-kv[1], str(kv[0])))
-            if explicit or covered / len(subjects) >= min_property_coverage
-        ]
+        if force_row:
+            properties = _discover_properties_rows(graph, subjects, merged_from, min_property_coverage)
+        else:
+            properties = _discover_properties_columnar(graph, subjects, merged_from, min_property_coverage)
     if not properties:
         raise LODError("no properties found to tabulate")
 
@@ -113,6 +135,89 @@ def tabulate_entities(
             suffix += 1
         names[predicate] = name
 
+    # The reference tier lets a property column literally named "subject" or
+    # "label" collide with the built-in row keys; keep that (odd) semantics
+    # by routing such tabulations through the reference.
+    collision = any(name in ("subject", "label") for name in names.values())
+    if force_row or collision:
+        return _tabulate_rows_reference(
+            graph, subjects, merged_from, properties, names, include_subject, multivalued, rdf_type
+        )
+    return _tabulate_encoded(
+        graph, subjects, merged_from, properties, names, include_subject, multivalued, rdf_type
+    )
+
+
+def _coverage_filter(
+    discovered: dict[IRI, int], n_subjects: int, min_property_coverage: float
+) -> list[IRI]:
+    """Order discovered predicates by (-coverage, IRI) and apply the floor."""
+    return [
+        p
+        for p, covered in sorted(discovered.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        if covered / n_subjects >= min_property_coverage
+    ]
+
+
+def _discover_properties_rows(
+    graph: Graph, subjects: Sequence, merged_from: dict, min_property_coverage: float
+) -> list[IRI]:
+    """Reference discovery: count predicate coverage source by source."""
+    discovered: dict[IRI, int] = {}
+    for subject in subjects:
+        for source in merged_from[subject]:
+            for predicate in graph.store.predicates(source):
+                if predicate in _STRUCTURAL_PREDICATES:
+                    continue
+                discovered[predicate] = discovered.get(predicate, 0) + 1
+    return _coverage_filter(discovered, len(subjects), min_property_coverage)
+
+
+def _discover_properties_columnar(
+    graph: Graph, subjects: Sequence, merged_from: dict, min_property_coverage: float
+) -> list[IRI]:
+    """Columnar discovery: coverage counts from the interned (subject, predicate) pairs.
+
+    Produces exactly the list of :func:`_discover_properties_rows` — the
+    count of a predicate is the number of (row, source) occurrences whose
+    source uses it, and the final ``sorted`` by ``(-count, str)`` is a total
+    order, so the two tiers cannot disagree on order.
+    """
+    columnar = graph.store.columnar()
+    n_terms = len(columnar.terms)
+    s_arr, p_arr, _ = columnar.order("spo")
+    if s_arr.size == 0:
+        return []
+    source_occurrences = np.zeros(n_terms, dtype=np.int64)
+    for subject in subjects:
+        for source in merged_from[subject]:
+            source_occurrences[columnar.term_id(source)] += 1
+    pairs = np.unique(s_arr * np.int64(n_terms) + p_arr)
+    pair_subjects = pairs // n_terms
+    pair_predicates = pairs % n_terms
+    counts = np.bincount(
+        pair_predicates, weights=source_occurrences[pair_subjects], minlength=n_terms
+    ).astype(np.int64)
+    structural = {columnar.term_id(p) for p in _STRUCTURAL_PREDICATES}
+    discovered = {
+        columnar.terms[pid]: int(counts[pid])
+        for pid in np.flatnonzero(counts).tolist()
+        if pid not in structural
+    }
+    return _coverage_filter(discovered, len(subjects), min_property_coverage)
+
+
+def _tabulate_rows_reference(
+    graph: Graph,
+    subjects: Sequence,
+    merged_from: dict,
+    properties: Sequence[IRI],
+    names: dict[IRI, str],
+    include_subject: bool,
+    multivalued: str,
+    rdf_type: IRI,
+) -> Dataset:
+    """Reference tier: build row dictionaries cell by cell via the dict indexes."""
     rows = []
     for subject in subjects:
         row: dict = {}
@@ -134,8 +239,141 @@ def tabulate_entities(
         rows.append(row)
 
     roles = {"subject": ColumnRole.IDENTIFIER} if include_subject else {}
-    dataset = Dataset.from_rows(rows, name=rdf_type.local_name(), roles=roles)
+    return Dataset.from_rows(rows, name=rdf_type.local_name(), roles=roles)
+
+
+def _tabulate_encoded(
+    graph: Graph,
+    subjects: Sequence,
+    merged_from: dict,
+    properties: Sequence[IRI],
+    names: dict[IRI, str],
+    include_subject: bool,
+    multivalued: str,
+    rdf_type: IRI,
+) -> Dataset:
+    """Columnar tier: cut property columns out of the interned id arrays.
+
+    For each property the SPO-ordered id columns yield, per subject, the
+    first object and the object count in exactly the order the reference
+    tier's ``objects()`` calls observe; ``owl:sameAs`` sources are resolved
+    through one flattened (row, source) table.  Distinct object terms are
+    converted to cells — and coerced by :meth:`Column.from_distinct` — once
+    per distinct value, and the per-cell distinct indices seed the dataset's
+    cached encoding (:func:`_seed_encoding`).
+    """
+    columnar = graph.store.columnar()
+    terms = columnar.terms
+    n_rows = len(subjects)
+    n_terms = len(terms)
+    s_arr, p_arr, o_arr = columnar.order("spo")
+
+    # Flatten the merged sources into (source id, owning row) arrays; rows
+    # keep their sources in merged_from order so "first value wins" matches.
+    flat_src: list[int] = []
+    flat_row: list[int] = []
+    for row, subject in enumerate(subjects):
+        for source in merged_from[subject]:
+            flat_src.append(columnar.term_id(source))
+            flat_row.append(row)
+    src_ids = np.asarray(flat_src, dtype=np.int64)
+    src_row = np.asarray(flat_row, dtype=np.intp)
+
+    labels = [graph.label(subject) for subject in subjects]
+    has_any_label = any(label is not None for label in labels)
+
+    # Replicate Dataset.from_rows' first-seen column order: "label" sits
+    # right after "subject" when the first row carries one, and only appears
+    # after the property columns otherwise.  Each column is either a plain
+    # cell list or a ("distinct", cells, inverse) spec for Column.from_distinct.
+    column_specs: dict[str, tuple] = {}
+    if include_subject:
+        column_specs["subject"] = ("values", [str(subject) for subject in subjects])
+    if labels[0] is not None:
+        column_specs["label"] = ("values", labels)
+
+    seeds: dict[str, np.ndarray] = {}
+    for predicate in properties:
+        name = names[predicate]
+        pid = columnar.term_id(predicate)
+        if pid < 0:  # predicate never used in the graph: an all-missing column
+            column_specs[name] = ("distinct", [None], np.zeros(n_rows, dtype=np.intp))
+            seeds[name] = np.zeros(n_rows, dtype=np.intp)
+            continue
+        selector = p_arr == pid
+        sub_s = s_arr[selector]
+        sub_o = o_arr[selector]
+        # Rows for one (subject, predicate) are contiguous in SPO order, so
+        # first occurrence/count per subject mirror objects(source, predicate).
+        present, first_at, n_objects = np.unique(sub_s, return_index=True, return_counts=True)
+        count_of = np.zeros(n_terms, dtype=np.int64)
+        count_of[present] = n_objects
+        first_of = np.zeros(n_terms, dtype=np.int64)
+        first_of[present] = first_at
+        src_counts = count_of[src_ids]
+        if multivalued == "count":
+            totals = np.bincount(src_row, weights=src_counts, minlength=n_rows).astype(np.int64)
+            distinct_totals, inverse = np.unique(totals, return_inverse=True)
+            cells = [None if total == 0 else float(total) for total in distinct_totals.tolist()]
+            column_specs[name] = ("distinct", cells, inverse.reshape(-1))
+            continue
+        # First source (in merged order) holding any value wins; assigning in
+        # reverse makes the earliest flattened position the survivor.
+        holders = np.flatnonzero(src_counts > 0)
+        first_holder = np.full(n_rows, -1, dtype=np.int64)
+        first_holder[src_row[holders[::-1]]] = holders[::-1]
+        value_ids = np.full(n_rows, -1, dtype=np.int64)
+        filled = np.flatnonzero(first_holder >= 0)
+        if filled.size:
+            value_ids[filled] = sub_o[first_of[src_ids[first_holder[filled]]]]
+        distinct_ids, inverse = np.unique(value_ids, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        cells = [
+            None if oid < 0 else _object_to_cell(terms[oid]) for oid in distinct_ids.tolist()
+        ]
+        column_specs[name] = ("distinct", cells, inverse)
+        seeds[name] = inverse
+
+    if has_any_label and labels[0] is None:
+        column_specs["label"] = ("values", labels)
+
+    roles = {"subject": ColumnRole.IDENTIFIER} if include_subject else {}
+    columns = []
+    for name, spec in column_specs.items():
+        role = roles.get(name, ColumnRole.FEATURE)
+        if spec[0] == "distinct":
+            columns.append(Column.from_distinct(name, spec[1], spec[2], role=role))
+        else:
+            columns.append(Column(name, spec[1], role=role))
+    dataset = Dataset(columns, name=rdf_type.local_name())
+    _seed_encoding(dataset, seeds)
     return dataset
+
+
+def _seed_encoding(dataset: Dataset, seeds: dict[str, np.ndarray]) -> None:
+    """Pre-seed the dataset's cached encoding from the per-cell distinct indices.
+
+    Distinct values are visited in first-occurrence row order and merged by
+    ``str(coerced cell)`` — exactly the level assignment
+    ``EncodedDataset._encode_categorical`` performs cell by cell — so the
+    seeded views are bit-identical to what a cold encoding would compute.
+    Numeric columns are skipped: their float views are already array slices.
+    """
+    encoded = encode_dataset(dataset)
+    for name, inverse in seeds.items():
+        column = dataset[name]
+        if column.is_numeric():
+            continue
+        _, first_at = np.unique(inverse, return_index=True)
+        index: dict[str, int] = {}
+        code_of = np.empty(first_at.size, dtype=np.int64)
+        for position in np.argsort(first_at, kind="stable").tolist():
+            coerced = column[int(first_at[position])]
+            if is_missing_value(coerced):
+                code_of[position] = -1
+            else:
+                code_of[position] = index.setdefault(str(coerced), len(index))
+        encoded.seed_categorical(name, code_of[inverse], list(index))
 
 
 def dimensionality_report(graph: Graph, rdf_type: IRI) -> dict[str, float]:
@@ -145,8 +383,9 @@ def dimensionality_report(graph: Graph, rdf_type: IRI) -> dict[str, float]:
         raise LODError(f"no instances of {rdf_type} in the graph")
     predicates: dict[IRI, int] = {}
     total_cells = 0
+    structural = set(_STRUCTURAL_PREDICATES)
     for subject in subjects:
-        used = {t.predicate for t in graph.triples(subject, None, None)} - {RDF.type, RDFS.label, OWL.sameAs}
+        used = set(graph.store.predicates(subject)) - structural
         total_cells += len(used)
         for predicate in used:
             predicates[predicate] = predicates.get(predicate, 0) + 1

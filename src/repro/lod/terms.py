@@ -22,10 +22,12 @@ class IRI:
     value: str
 
     def __post_init__(self) -> None:
+        """Reject relative or empty IRIs."""
         if not self.value or not _IRI_RE.match(self.value):
             raise LODError(f"not an absolute IRI: {self.value!r}")
 
     def __str__(self) -> str:
+        """The raw IRI string."""
         return self.value
 
     def n3(self) -> str:
@@ -49,13 +51,16 @@ class BNode:
     identifier: str
 
     def __post_init__(self) -> None:
+        """Reject empty or non-alphanumeric blank node identifiers."""
         if not self.identifier or not re.match(r"^[A-Za-z0-9_]+$", self.identifier):
             raise LODError(f"invalid blank node identifier: {self.identifier!r}")
 
     def __str__(self) -> str:
+        """The ``_:identifier`` form."""
         return f"_:{self.identifier}"
 
     def n3(self) -> str:
+        """N-Triples / Turtle representation (same as ``str``)."""
         return f"_:{self.identifier}"
 
 
@@ -72,6 +77,7 @@ class Literal:
     language: str | None = None
 
     def __post_init__(self) -> None:
+        """Reject literals carrying both a language tag and a datatype."""
         if self.language is not None and self.datatype is not None:
             raise LODError("a literal cannot have both a language tag and a datatype")
 
@@ -89,6 +95,7 @@ class Literal:
         return self.value
 
     def n3(self) -> str:
+        """N-Triples / Turtle representation with escaping and tags."""
         escaped = (
             self.lexical.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n").replace("\r", "\\r")
         )
@@ -99,6 +106,7 @@ class Literal:
         return f'"{escaped}"'
 
     def __str__(self) -> str:
+        """The lexical form."""
         return self.lexical
 
 
@@ -117,6 +125,7 @@ class Triple:
     object: Object
 
     def __post_init__(self) -> None:
+        """Validate the term types of the three positions."""
         if not isinstance(self.subject, (IRI, BNode)):
             raise LODError(f"triple subject must be an IRI or BNode, got {type(self.subject).__name__}")
         if not isinstance(self.predicate, IRI):
@@ -125,9 +134,11 @@ class Triple:
             raise LODError(f"triple object must be an IRI, BNode or Literal, got {type(self.object).__name__}")
 
     def n3(self) -> str:
+        """The triple as one N-Triples line."""
         return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
 
     def as_tuple(self) -> tuple[Subject, Predicate, Object]:
+        """The triple as a plain ``(subject, predicate, object)`` tuple."""
         return (self.subject, self.predicate, self.object)
 
 

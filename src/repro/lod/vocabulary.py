@@ -24,27 +24,34 @@ class Namespace:
     """
 
     def __init__(self, prefix: str) -> None:
+        """Wrap a namespace IRI ``prefix`` shared by the generated terms."""
         self._prefix = prefix
 
     @property
     def prefix(self) -> str:
+        """The namespace IRI every generated term starts with."""
         return self._prefix
 
     def term(self, name: str) -> IRI:
+        """Return the IRI for ``name`` inside this namespace."""
         return IRI(self._prefix + name)
 
     def __getitem__(self, name: str) -> IRI:
+        """Index access: ``ns["name"]`` == ``ns.term("name")``."""
         return self.term(name)
 
     def __getattr__(self, name: str) -> IRI:
+        """Attribute access: ``ns.name`` == ``ns.term("name")``."""
         if name.startswith("_"):
             raise AttributeError(name)
         return self.term(name)
 
     def __contains__(self, iri: IRI) -> bool:
+        """Whether ``iri`` lives inside this namespace."""
         return isinstance(iri, IRI) and iri.value.startswith(self._prefix)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debug representation."""
         return f"Namespace({self._prefix!r})"
 
 

@@ -111,14 +111,14 @@ def _looks_datetime(value: Any) -> bool:
     return all(part.isdigit() for part in parts)
 
 
-def infer_column_type(values: Iterable[Any]) -> str:
-    """Infer the :class:`ColumnType` of a sequence of raw values.
+def _infer_from_present(present: Sequence[Any], n_present: int) -> str:
+    """The shared inference ladder over non-missing values.
 
-    The inference looks only at non-missing values.  Order of preference is
-    boolean → numeric → datetime → categorical/string (a column whose distinct
-    ratio is high is considered free text rather than categorical).
+    Every check depends only on the *distinct* values plus the total count
+    of present cells, so callers may pass either the full multiset of
+    present cells (``infer_column_type``) or just the distinct values with
+    their summed count (``Column.from_distinct``) — the result is identical.
     """
-    present = [v for v in values if not is_missing_value(v)]
     if not present:
         return ColumnType.STRING
     if all(_looks_boolean(v) for v in present):
@@ -128,9 +128,20 @@ def infer_column_type(values: Iterable[Any]) -> str:
     if all(_looks_datetime(v) for v in present):
         return ColumnType.DATETIME
     distinct = {str(v) for v in present}
-    if len(distinct) <= max(20, int(0.2 * len(present))):
+    if len(distinct) <= max(20, int(0.2 * n_present)):
         return ColumnType.CATEGORICAL
     return ColumnType.STRING
+
+
+def infer_column_type(values: Iterable[Any]) -> str:
+    """Infer the :class:`ColumnType` of a sequence of raw values.
+
+    The inference looks only at non-missing values.  Order of preference is
+    boolean → numeric → datetime → categorical/string (a column whose distinct
+    ratio is high is considered free text rather than categorical).
+    """
+    present = [v for v in values if not is_missing_value(v)]
+    return _infer_from_present(present, len(present))
 
 
 def _coerce_value(value: Any, ctype: str) -> Any:
@@ -269,6 +280,48 @@ class Column:
         return dict(Counter(self.non_missing()))
 
     # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_distinct(
+        cls,
+        name: str,
+        distinct_values: Sequence[Any],
+        inverse: "np.ndarray",
+        role: str = ColumnRole.FEATURE,
+    ) -> "Column":
+        """Build the column whose cells are ``distinct_values[inverse]``.
+
+        Equivalent to ``Column(name, [distinct_values[i] for i in inverse])``
+        — same inferred type, same coerced cells — but the per-value Python
+        work (missing checks, type sniffing, coercion) runs once per
+        *distinct* value instead of once per cell.  Producers that already
+        know each cell's distinct-value index (the LOD tabulation reads them
+        off the interned object ids) use this to assemble columns in
+        O(distinct) Python.  Every entry of ``distinct_values`` must occur in
+        ``inverse``; otherwise unused entries could sway type inference.
+        """
+        if not name:
+            raise SchemaError("column name must be a non-empty string")
+        if role not in ColumnRole.ALL:
+            raise SchemaError(f"unknown column role {role!r}")
+        inverse = np.asarray(inverse, dtype=np.intp)
+        counts = np.bincount(inverse, minlength=len(distinct_values))
+        present = [value for value in distinct_values if not is_missing_value(value)]
+        n_present = int(
+            sum(int(counts[i]) for i, value in enumerate(distinct_values) if not is_missing_value(value))
+        )
+        ctype = _infer_from_present(present, n_present)
+        coerced = [_coerce_value(value, ctype) for value in distinct_values]
+        column = cls.__new__(cls)
+        column.name = name
+        column.ctype = ctype
+        column.role = role
+        if ctype == ColumnType.NUMERIC:
+            column._values = np.asarray(coerced, dtype=float)[inverse]
+        else:
+            column._values = np.asarray(coerced, dtype=object)[inverse]
+        column._missing_cache = None
+        return column
 
     def copy(self) -> "Column":
         clone = Column.__new__(Column)

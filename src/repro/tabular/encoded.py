@@ -153,6 +153,20 @@ class EncodedDataset:
             codes[i] = index.setdefault(str(value), len(index))
         return codes, list(index), index
 
+    def seed_categorical(self, name: str, codes: np.ndarray, vocabulary: Sequence[str]) -> None:
+        """Pre-populate the categorical view of column ``name``.
+
+        Producers that already know each cell's category — the LOD
+        tabulation assembles columns from interned object ids, so the codes
+        fall out of the assembly — can seed the view and spare the per-cell
+        encoding scan.  The seeded ``(codes, vocabulary)`` must be exactly
+        what :meth:`_encode_categorical` would compute: ``str(value)``
+        levels in first-seen row order with ``-1`` marking missing cells.
+        Seeding an already-encoded column is a no-op (the cached view wins).
+        """
+        if name not in self._categorical:
+            self._categorical[name] = (codes, list(vocabulary), {level: i for i, level in enumerate(vocabulary)})
+
     # -- shared derived views -------------------------------------------------
 
     def missing_view(self, name: str) -> np.ndarray:

@@ -190,3 +190,70 @@ class TestPublishAndDatasets:
 
     def test_datasets_unknown_name_is_an_error(self, tmp_path):
         assert main(["datasets", "weather_on_mars", str(tmp_path / "x.csv")]) == 2
+
+
+class TestLodCommands:
+    AIR_TYPE = "http://openbi.example.org/civic/AirQualityReading"
+
+    @pytest.fixture(scope="class")
+    def graph_paths(self, tmp_path_factory):
+        from repro.datasets import air_quality
+        from repro.datasets.civic import civic_lod_graph
+        from repro.lod import to_ntriples
+
+        directory = tmp_path_factory.mktemp("cli-lod")
+        left = directory / "left.nt"
+        right = directory / "right.nt"
+        to_ntriples(civic_lod_graph(air_quality(n_rows=40, seed=1), entity_class="AirQualityReading"), left)
+        # Same readings republished under a different class (and thus subject
+        # IRIs), so linking on the shared dcterms:identifier finds every row.
+        to_ntriples(civic_lod_graph(air_quality(n_rows=40, seed=1), entity_class="AirReading"), right)
+        return left, right
+
+    def test_tabulate_to_csv(self, graph_paths, tmp_path, capsys):
+        output = tmp_path / "air.csv"
+        code = main(["lod", "tabulate", str(graph_paths[0]), "--type", self.AIR_TYPE, "--output", str(output)])
+        assert code == 0
+        assert "tabulated 40 rows" in capsys.readouterr().out
+        loaded = read_csv(output)
+        assert loaded.n_rows == 40
+        assert "no2" in loaded.column_names
+
+    def test_tabulate_prints_a_table_without_output(self, graph_paths, capsys):
+        code = main(["lod", "tabulate", str(graph_paths[0]), "--type", self.AIR_TYPE, "--max-rows", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "subject" in output and "more rows" in output
+
+    def test_tabulate_force_row_matches_columnar(self, graph_paths, tmp_path):
+        fast_path, slow_path = tmp_path / "fast.csv", tmp_path / "slow.csv"
+        assert main(["lod", "tabulate", str(graph_paths[0]), "--type", self.AIR_TYPE, "--output", str(fast_path)]) == 0
+        assert main(["lod", "tabulate", str(graph_paths[0]), "--type", self.AIR_TYPE, "--force-row", "--output", str(slow_path)]) == 0
+        assert fast_path.read_text() == slow_path.read_text()
+
+    def test_tabulate_unknown_class_is_an_error(self, graph_paths, capsys):
+        assert main(["lod", "tabulate", str(graph_paths[0]), "--type", "http://example.org/Nothing"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_link_writes_same_as_triples(self, graph_paths, tmp_path, capsys):
+        output = tmp_path / "links.nt"
+        code = main(
+            ["lod", "link", str(graph_paths[0]), str(graph_paths[1]),
+             "--type", self.AIR_TYPE,
+             "--right-type", "http://openbi.example.org/civic/AirReading",
+             "--property", "http://purl.org/dc/terms/identifier",
+             "--threshold", "0.99", "--output", str(output)]
+        )
+        assert code == 0
+        text = output.read_text(encoding="utf-8")
+        assert "owl#sameAs" in text
+        assert "wrote 40 owl:sameAs links" in capsys.readouterr().out
+
+    def test_link_mismatched_properties_is_an_error(self, graph_paths, capsys):
+        code = main(
+            ["lod", "link", str(graph_paths[0]), str(graph_paths[1]),
+             "--type", self.AIR_TYPE,
+             "--property", "http://purl.org/dc/terms/identifier",
+             "--right-property", "http://a.org/x,http://a.org/y"]
+        )
+        assert code == 2
