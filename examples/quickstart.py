@@ -6,7 +6,9 @@ cannot silently rot.
 
 The script walks the whole OpenBI loop on a small synthetic civic source:
 
-1. write a CSV file the way an open data portal would publish it;
+1. write a CSV file the way an open data portal would publish it — then
+   corrupt a copy of it at the byte level and salvage the corrupted file
+   back with the recovery tier (see docs/recovery.md);
 2. load it into a typed dataset and measure its data quality profile;
 3. build a small DQ4DM knowledge base by running controlled experiments;
 4. ask the advisor which mining algorithm to use on the (dirty) source;
@@ -42,6 +44,18 @@ def main() -> None:
     raw = service_requests(n_rows=240, dirty=True)
     csv_path = write_csv(raw, workdir / "service_requests.csv")
     print(f"[1] wrote raw open data to {csv_path}")
+
+    # 1b. Files in the wild are often worse than "dirty" — bytes get mangled
+    # in transit.  Simulate that with the seeded corruptors and salvage the
+    # file back; the strict reader would refuse it outright.
+    from repro.recovery import apply_corruptions, salvage_csv
+
+    corrupted = apply_corruptions(
+        csv_path.read_bytes(), {"ragged_rows": 0.05, "encoding": 0.05}, seed=7
+    )
+    salvaged, salvage_report = salvage_csv(corrupted)
+    print("\n[1b] salvaged a byte-corrupted copy of the same file:")
+    print("     " + salvage_report.summary().replace("\n", "\n     "))
 
     # 2. Load it back and measure its data quality.
     source = read_csv(csv_path).set_target("resolved_late").set_role("request_id", "identifier")

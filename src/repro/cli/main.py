@@ -239,6 +239,40 @@ def _cmd_lod_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    """Salvage a partially corrupt CSV or N-Triples file and report on it."""
+    from repro.recovery import salvage_csv, salvage_ntriples
+
+    path = Path(args.data)
+    if not path.exists():
+        raise ReproError(f"input file {args.data} does not exist")
+    is_ntriples = args.format == "ntriples" or (args.format == "auto" and path.suffix == ".nt")
+    if is_ntriples:
+        graph, report = salvage_ntriples(path, _force_strict=args.strict)
+        if args.output:
+            to_ntriples(graph, args.output)
+            print(f"wrote {len(graph)} salvaged triples to {args.output}")
+    else:
+        from repro.tabular.io_csv import write_csv
+
+        dataset, report = salvage_csv(
+            path,
+            delimiter=args.delimiter,
+            encoding=args.encoding,
+            _force_strict=args.strict,
+        )
+        if args.output:
+            write_csv(dataset, args.output)
+            print(f"wrote {dataset.n_rows} salvaged rows to {args.output}")
+    print(report.summary())
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote salvage report to {args.report}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.tabular.io_csv import write_csv
 
@@ -352,6 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--force-pairwise", action="store_true",
                       help="use the exhaustive pairwise reference tier instead of blocking")
     link.set_defaults(func=_cmd_lod_link)
+
+    salvage = subparsers.add_parser(
+        "salvage", help="tolerantly parse a partially corrupt CSV or N-Triples file"
+    )
+    salvage.add_argument("data", help="path to the (possibly corrupt) input file")
+    salvage.add_argument("--format", choices=("auto", "csv", "ntriples"), default="auto",
+                         help="input format (auto: .nt is N-Triples, anything else CSV)")
+    salvage.add_argument("--output", help="write the salvaged CSV/N-Triples to this file")
+    salvage.add_argument("--report", help="write the salvage report as JSON to this file")
+    salvage.add_argument("--encoding", default="utf-8", help="expected text encoding (CSV)")
+    salvage.add_argument("--delimiter", help="cell delimiter (CSV; default: sniffed)")
+    salvage.add_argument("--strict", action="store_true",
+                         help="route through the strict reference parser (fails on any defect)")
+    salvage.set_defaults(func=_cmd_salvage)
 
     datasets = subparsers.add_parser("datasets", help="generate one of the built-in civic datasets as CSV")
     datasets.add_argument("name", help=f"one of {sorted(CIVIC_GENERATORS)}")

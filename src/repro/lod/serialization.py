@@ -172,31 +172,59 @@ def _parse_literal(lexical: str, language: str | None, datatype: str | None) -> 
     return Literal(text)
 
 
+def parse_ntriples_line(line: str) -> Triple | None:
+    """Parse one N-Triples line; return ``None`` for blank and comment lines.
+
+    This is the shared per-line machinery of the strict :func:`parse_ntriples`
+    and the tolerant :func:`repro.recovery.salvage_ntriples` tier.  Raises
+    :class:`~repro.exceptions.LODError` on malformed syntax or un-decodable
+    terms; messages carry no positional context — the callers attach the line
+    number and the offending text.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    match = _NT_LINE.match(stripped)
+    if not match:
+        raise LODError("line does not match the N-Triples grammar")
+    (s_iri, s_bnode, p_iri, o_iri, o_bnode, o_lex, o_lang, o_dt) = match.groups()
+    try:
+        subject: Subject = IRI(s_iri) if s_iri else BNode(s_bnode)
+        predicate = IRI(p_iri)
+        if o_iri:
+            obj: Object = IRI(o_iri)
+        elif o_bnode:
+            obj = BNode(o_bnode)
+        else:
+            obj = _parse_literal(o_lex or "", o_lang, o_dt)
+    except (ValueError, OverflowError) as exc:
+        # int()/float() on a literal whose lexical form disagrees with its
+        # declared XSD datatype, e.g. "abc"^^xsd:integer.
+        raise LODError(f"literal does not match its datatype: {exc}") from None
+    return Triple(subject, predicate, obj)
+
+
 def parse_ntriples(source: str | Path, identifier: str | None = None) -> Graph:
-    """Parse N-Triples content (string or path) into a :class:`Graph`."""
+    """Parse N-Triples content (string or path) into a :class:`Graph`.
+
+    Parsing is strict: the first malformed line raises an
+    :class:`~repro.exceptions.LODError` naming the line number and quoting the
+    offending line, so failures on multi-thousand-line dumps are actionable.
+    Use :func:`repro.recovery.salvage_ntriples` to recover the parseable lines
+    of a partially corrupt file instead.
+    """
     if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and source.endswith(".nt")):
         text = Path(source).read_text(encoding="utf-8")
     else:
         text = str(source)
     graph = Graph(identifier or "http://openbi.example.org/graph/parsed")
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.strip()
-        if not line or line.startswith("#"):
-            continue
-        match = _NT_LINE.match(line)
-        if not match:
-            raise LODError(f"invalid N-Triples at line {line_number}: {raw_line!r}")
-        (s_iri, s_bnode, p_iri, o_iri, o_bnode, o_lex, o_lang, o_dt) = match.groups()
         try:
-            subject: Subject = IRI(s_iri) if s_iri else BNode(s_bnode)
-            predicate = IRI(p_iri)
-            if o_iri:
-                obj: Object = IRI(o_iri)
-            elif o_bnode:
-                obj = BNode(o_bnode)
-            else:
-                obj = _parse_literal(o_lex or "", o_lang, o_dt)
+            triple = parse_ntriples_line(raw_line)
         except LODError as exc:
-            raise LODError(f"invalid N-Triples at line {line_number}: {exc}") from None
-        graph.add_triple(Triple(subject, predicate, obj))
+            raise LODError(
+                f"invalid N-Triples at line {line_number}: {exc} — offending line: {raw_line!r}"
+            ) from None
+        if triple is not None:
+            graph.add_triple(triple)
     return graph

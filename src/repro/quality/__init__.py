@@ -26,6 +26,7 @@ from repro.quality.correlation import CorrelationCriterion
 from repro.quality.balance import BalanceCriterion
 from repro.quality.dimensionality import DimensionalityCriterion
 from repro.quality.outliers import OutlierCriterion
+from repro.quality.salvage import SalvageCriterion
 from repro.quality.profile import DataQualityProfile, measure_quality
 from repro.quality.report import quality_report
 
@@ -43,6 +44,7 @@ __all__ = [
     "BalanceCriterion",
     "DimensionalityCriterion",
     "OutlierCriterion",
+    "SalvageCriterion",
     "DataQualityProfile",
     "measure_quality",
     "quality_report",

@@ -95,4 +95,8 @@ class BalanceCriterion(Criterion):
                 continue
             p = count / total
             entropy -= p * math.log2(p)
-        return entropy / math.log2(len(counts))
+        # Accumulated float noise can land a hair outside [0, 1] (e.g. a
+        # near-uniform distribution over many classes summing to
+        # 1.0000000000000004), which CriterionMeasure rejects; clamp.  Shared
+        # by both measurement tiers, so bit-identity is preserved.
+        return min(1.0, max(0.0, entropy / math.log2(len(counts))))

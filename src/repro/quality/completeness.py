@@ -51,13 +51,19 @@ class CompletenessCriterion(Criterion):
             total_missing += missing
         score = 1.0 - (total_missing / total_cells if total_cells else 0.0)
         worst = min(per_column.values()) if per_column else 1.0
-        return CriterionMeasure(
-            criterion=self.name,
-            score=score,
-            details={
-                "per_column": per_column,
-                "worst_column_completeness": worst,
-                "n_missing_cells": total_missing,
-                "n_cells": total_cells,
-            },
-        )
+        details = {
+            "per_column": per_column,
+            "worst_column_completeness": worst,
+            "n_missing_cells": total_missing,
+            "n_cells": total_cells,
+        }
+        # Datasets that came through the salvage tier carry per-cell
+        # provenance; surface how many of the measured cells were repaired
+        # rather than read.  Shared by both measurement tiers, so the
+        # reference and encoded paths stay bit-identical.
+        from repro.recovery.provenance import dataset_provenance, provenance_counts
+
+        provenance = dataset_provenance(dataset)
+        if provenance is not None:
+            details["salvage"] = provenance_counts(provenance, columns=list(missing_counts))
+        return CriterionMeasure(criterion=self.name, score=score, details=details)

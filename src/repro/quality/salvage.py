@@ -1,0 +1,65 @@
+"""Salvage provenance as a data quality criterion.
+
+When a dataset arrives through the recovery tier
+(:func:`repro.recovery.salvage_csv`), per-cell provenance flags record every
+cell the salvage had to pad, truncate, re-join or coerce.  That record is
+itself a quality signal — a file whose cells were largely reconstructed is
+less trustworthy than one parsed untouched — so this criterion surfaces it in
+the same profile vector as completeness, accuracy and the rest.
+
+The criterion is registered but **not** part of
+:data:`~repro.quality.profile.DEFAULT_CRITERIA`: adding it there would change
+the length of every existing profile vector.  Request it explicitly, e.g.
+``measure_quality(dataset, criteria=[*default_criteria(), SalvageCriterion()])``.
+"""
+
+from __future__ import annotations
+
+from repro.quality.criteria import Criterion, CriterionMeasure, register_criterion
+from repro.tabular.dataset import Dataset
+from repro.tabular.encoded import EncodedDataset
+
+
+@register_criterion
+class SalvageCriterion(Criterion):
+    """Fraction of cells recovered untouched by the salvage tier.
+
+    The score is ``1 - flagged_cells / cells`` over the salvage provenance
+    attached to the dataset instance, and 1.0 for datasets without provenance
+    (parsed strictly, built in memory, or salvaged from clean input — the
+    recovery tier only attaches provenance when it intervened).
+    """
+
+    name = "salvage"
+    description = "Fraction of cells recovered untouched by the salvage tier."
+
+    def measure(self, dataset: Dataset) -> CriterionMeasure:
+        """Score the attached salvage provenance (1.0 when there is none)."""
+        from repro.recovery.provenance import dataset_provenance, provenance_counts
+
+        provenance = dataset_provenance(dataset)
+        if provenance is None:
+            return CriterionMeasure(
+                criterion=self.name,
+                score=1.0,
+                details={"has_provenance": False, "n_flagged_cells": 0, "flag_counts": {}},
+            )
+        counts = provenance_counts(provenance)
+        n_cells = sum(len(flags) for flags in provenance.values())
+        n_flagged = sum(counts.values())
+        score = 1.0 - (n_flagged / n_cells if n_cells else 0.0)
+        return CriterionMeasure(
+            criterion=self.name,
+            score=score,
+            details={
+                "has_provenance": True,
+                "n_flagged_cells": n_flagged,
+                "flag_counts": counts,
+            },
+        )
+
+    def _measure_encoded(self, encoded: EncodedDataset) -> CriterionMeasure | None:
+        """Provenance flags are already columnar; the reference path is the fast path."""
+        if not self._uses_reference_measure(SalvageCriterion):
+            return None
+        return self.measure(encoded.dataset)

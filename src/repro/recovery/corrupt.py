@@ -1,0 +1,284 @@
+"""Seeded, severity-parameterised **file-level** corruption generators.
+
+The byte/encoding/structure analogue of :mod:`repro.core.injection`: where
+the injectors degrade the *values* of an already-parsed dataset, these
+corruptors degrade the *file itself* — the serialized bytes an open data
+portal actually hands out — so the inject → salvage → profile round trip can
+be exercised end to end.
+
+Every corruptor takes a byte payload and a ``severity`` in ``[0, 1]`` and
+returns a *new* payload; ``severity`` 0.0 returns the input unchanged, and a
+fixed seed makes every corruption reproducible.  CSV corruptors assume a
+UTF-8 payload (they decode, mangle lines, re-encode); the encoding corruptor
+works on raw bytes.  N-Triples corruptors (``nt_*``) target the line-oriented
+grammar.  :func:`apply_corruptions` chains several by registry order, exactly
+like :func:`repro.core.injection.apply_injections`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+
+from repro.exceptions import ExperimentError
+
+
+class FileCorruptor(ABC):
+    """A reproducible, severity-parameterised file corruption."""
+
+    #: Registry key; named after the salvage behaviour it exercises.
+    name = "corruptor"
+
+    @abstractmethod
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Return a corrupted copy of ``payload``.
+
+        ``severity`` 0.0 must return the payload unchanged; 1.0 is the
+        strongest supported corruption.
+        """
+
+    def _check_severity(self, severity: float) -> float:
+        """Validate that ``severity`` lies in ``[0, 1]``."""
+        if not 0.0 <= severity <= 1.0:
+            raise ExperimentError(f"severity must be in [0, 1], got {severity}")
+        return severity
+
+
+def _split_lines(payload: bytes) -> list[str]:
+    """Decode a payload into its physical lines (without newlines).
+
+    Falls back to latin-1 so text-level corruptors still work on payloads a
+    previous corruptor already made ill-formed UTF-8.
+    """
+    try:
+        return payload.decode("utf-8").split("\n")
+    except UnicodeDecodeError:
+        return payload.decode("latin-1").split("\n")
+
+
+def _join_lines(lines: list[str]) -> bytes:
+    """Re-encode physical lines back into a UTF-8 payload."""
+    return "\n".join(lines).encode("utf-8")
+
+
+class RaggedRowsCorruptor(FileCorruptor):
+    """Drop or append trailing cells on random data lines (CSV).
+
+    With probability ``severity`` a data line loses its last one or two cells
+    (exercising :data:`~repro.recovery.provenance.PADDED` repair) or gains a
+    spurious extra cell (:data:`~repro.recovery.provenance.TRUNCATED`).
+    """
+
+    name = "ragged_rows"
+
+    def __init__(self, delimiter: str = ",") -> None:
+        """``delimiter`` must match the file being corrupted."""
+        self.delimiter = delimiter
+
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Make random data lines shorter or longer than the header."""
+        severity = self._check_severity(severity)
+        if severity == 0.0:
+            return payload
+        rng = random.Random(seed)
+        lines = _split_lines(payload)
+        for index in range(1, len(lines)):
+            line = lines[index]
+            if not line or rng.random() >= severity:
+                continue
+            cells = line.split(self.delimiter)
+            if rng.random() < 0.5 and len(cells) > 2:
+                keep = len(cells) - rng.choice((1, 2))
+                lines[index] = self.delimiter.join(cells[: max(1, keep)])
+            else:
+                cells.append(f"spurious_{rng.randrange(1000)}")
+                lines[index] = self.delimiter.join(cells)
+        return _join_lines(lines)
+
+
+class EncodingCorruptor(FileCorruptor):
+    """Overwrite random bytes of random lines with invalid UTF-8 (0xE9).
+
+    A standalone 0xE9 byte (latin-1 ``é``) is ill-formed UTF-8, so the strict
+    reader's decode raises while the salvage tier falls back to latin-1 or a
+    lossy replace — exactly the broken-export situation in the wild.
+    """
+
+    name = "encoding"
+
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Corrupt one byte on each affected line."""
+        severity = self._check_severity(severity)
+        if severity == 0.0:
+            return payload
+        rng = random.Random(seed)
+        lines = payload.split(b"\n")
+        for index in range(1, len(lines)):
+            line = lines[index]
+            if not line or rng.random() >= severity:
+                continue
+            at = rng.randrange(len(line))
+            lines[index] = line[:at] + b"\xe9" + line[at + 1 :]
+        return b"\n".join(lines)
+
+
+class QuoteCorruptor(FileCorruptor):
+    """Insert a stray, unbalanced quote character into random data lines (CSV).
+
+    A quote landing at a field start swallows the following delimiters and
+    lines into one field, exercising the salvage tier's unbalanced-quote
+    healing (:data:`~repro.recovery.provenance.QUOTE_REPAIRED`).
+    """
+
+    name = "quotes"
+
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Insert one stray ``"`` on each affected line."""
+        severity = self._check_severity(severity)
+        if severity == 0.0:
+            return payload
+        rng = random.Random(seed)
+        lines = _split_lines(payload)
+        for index in range(1, len(lines)):
+            line = lines[index]
+            if not line or rng.random() >= severity:
+                continue
+            at = rng.randrange(len(line) + 1)
+            lines[index] = line[:at] + '"' + line[at:]
+        return _join_lines(lines)
+
+
+class NewlineCorruptor(FileCorruptor):
+    """Split random data lines in two with a stray embedded newline (CSV).
+
+    Exercises the salvage tier's fragment re-joining
+    (:data:`~repro.recovery.provenance.REJOINED`).
+    """
+
+    name = "newlines"
+
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Break one cell of each affected line across two physical lines."""
+        severity = self._check_severity(severity)
+        if severity == 0.0:
+            return payload
+        rng = random.Random(seed)
+        lines = _split_lines(payload)
+        result: list[str] = []
+        for index, line in enumerate(lines):
+            if index == 0 or not line or len(line) < 2 or rng.random() >= severity:
+                result.append(line)
+                continue
+            at = rng.randrange(1, len(line))
+            result.append(line[:at])
+            result.append(line[at:])
+        return _join_lines(result)
+
+
+class TruncatedFileCorruptor(FileCorruptor):
+    """Cut the payload short, as an interrupted download would.
+
+    ``severity`` is the fraction of trailing bytes removed; the cut lands at
+    an arbitrary byte offset, so the final line is usually left ragged.
+    """
+
+    name = "truncated_file"
+
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Drop the trailing ``severity`` fraction of the payload."""
+        severity = self._check_severity(severity)
+        if severity == 0.0 or not payload:
+            return payload
+        rng = random.Random(seed)
+        keep = max(1, int(len(payload) * (1.0 - severity * rng.uniform(0.5, 1.0))))
+        return payload[:keep]
+
+
+class NtDotDropCorruptor(FileCorruptor):
+    """Remove the terminal ``.`` from random N-Triples lines.
+
+    Exercises the ``repaired_missing_dot`` repair of the N-Triples salvage.
+    """
+
+    name = "nt_dots"
+
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Strip the statement terminator on each affected line."""
+        severity = self._check_severity(severity)
+        if severity == 0.0:
+            return payload
+        rng = random.Random(seed)
+        lines = _split_lines(payload)
+        for index, line in enumerate(lines):
+            if line.rstrip().endswith(".") and rng.random() < severity:
+                lines[index] = line.rstrip().removesuffix(".").rstrip()
+        return _join_lines(lines)
+
+
+class NtGarbageCorruptor(FileCorruptor):
+    """Replace random N-Triples lines with unparseable garbage.
+
+    Exercises the per-line skip diagnostics of the N-Triples salvage.
+    """
+
+    name = "nt_garbage"
+
+    def apply(self, payload: bytes, severity: float, seed: int = 0) -> bytes:
+        """Overwrite each affected line with non-grammar text."""
+        severity = self._check_severity(severity)
+        if severity == 0.0:
+            return payload
+        rng = random.Random(seed)
+        lines = _split_lines(payload)
+        for index, line in enumerate(lines):
+            if line.strip() and rng.random() < severity:
+                lines[index] = f"%% corrupted record {rng.randrange(10_000)} %%"
+        return _join_lines(lines)
+
+
+#: Registry corruptor name → class (constructed with defaults by
+#: :func:`get_corruptor`).  Declaration order is the chaining order of
+#: :func:`apply_corruptions`; ``encoding`` comes after the text-level CSV
+#: corruptors because it makes the payload ill-formed UTF-8, which a
+#: subsequent decode/re-encode pass would partially undo.
+CORRUPTOR_REGISTRY: dict[str, type[FileCorruptor]] = {
+    RaggedRowsCorruptor.name: RaggedRowsCorruptor,
+    QuoteCorruptor.name: QuoteCorruptor,
+    NewlineCorruptor.name: NewlineCorruptor,
+    TruncatedFileCorruptor.name: TruncatedFileCorruptor,
+    EncodingCorruptor.name: EncodingCorruptor,
+    NtDotDropCorruptor.name: NtDotDropCorruptor,
+    NtGarbageCorruptor.name: NtGarbageCorruptor,
+}
+
+
+def get_corruptor(name: str, **kwargs) -> FileCorruptor:
+    """Instantiate a registered corruptor by name."""
+    try:
+        cls = CORRUPTOR_REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown corruptor {name!r}; known: {sorted(CORRUPTOR_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def apply_corruptions(payload: bytes, corruptions: Mapping[str, float], seed: int = 0) -> bytes:
+    """Apply several corruptors in the registry's declaration order.
+
+    ``corruptions`` maps corruptor name → severity.  Registry order (not dict
+    order at the call site) keeps mixed corruption sweeps reproducible, the
+    same contract as :func:`repro.core.injection.apply_injections`.
+    """
+    unknown = set(corruptions) - set(CORRUPTOR_REGISTRY)
+    if unknown:
+        raise ExperimentError(f"unknown corruptors requested: {sorted(unknown)}")
+    result = payload
+    step = 0
+    for name in CORRUPTOR_REGISTRY:
+        if name not in corruptions:
+            continue
+        result = get_corruptor(name).apply(result, corruptions[name], seed=seed + step)
+        step += 1
+    return result

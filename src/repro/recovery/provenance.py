@@ -1,0 +1,248 @@
+"""Per-cell salvage provenance codes and the salvage report.
+
+The recovery tier follows the paper's premise to its logical end: when an
+open-data file is partially corrupt, recover every cell that is recoverable
+and **account precisely for what was lost**.  The accounting lives here:
+
+* compact ``int8`` per-cell provenance codes (:data:`OK`, :data:`PADDED`, …)
+  stored as one flag array per column — the salvage analogue of the missing
+  masks of the encoded core;
+* the :class:`SalvageReport` (CSV tier) and :class:`NtSalvageReport`
+  (N-Triples tier) that summarise what was repaired, flagged or dropped;
+* helpers to attach provenance to the salvaged
+  :class:`~repro.tabular.dataset.Dataset` instance so the data quality layer
+  (:class:`~repro.quality.salvage.SalvageCriterion`, completeness details)
+  can surface it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.tabular.dataset import Dataset
+
+#: The cell was parsed, decoded and coerced without intervention.
+OK = np.int8(0)
+#: The cell was absent (its row was shorter than the header) and padded in as missing.
+PADDED = np.int8(1)
+#: The cell is the last kept cell of a row that overflowed the header and was truncated.
+TRUNCATED = np.int8(2)
+#: The cell's text contains U+FFFD replacement characters from a lossy decode.
+ENCODING_REPLACED = np.int8(3)
+#: The cell's raw text could not be coerced to the requested column type and became missing.
+COERCED_MISSING = np.int8(4)
+#: The cell belongs to a row re-parsed after healing an unbalanced quote.
+QUOTE_REPAIRED = np.int8(5)
+#: The cell was re-joined from two physical lines split by a stray embedded newline.
+REJOINED = np.int8(6)
+
+#: Code → symbolic name, in code order.
+PROVENANCE_NAMES: dict[int, str] = {
+    int(OK): "OK",
+    int(PADDED): "PADDED",
+    int(TRUNCATED): "TRUNCATED",
+    int(ENCODING_REPLACED): "ENCODING_REPLACED",
+    int(COERCED_MISSING): "COERCED_MISSING",
+    int(QUOTE_REPAIRED): "QUOTE_REPAIRED",
+    int(REJOINED): "REJOINED",
+}
+
+#: Symbolic name → code (inverse of :data:`PROVENANCE_NAMES`).
+PROVENANCE_CODES: dict[str, int] = {name: code for code, name in PROVENANCE_NAMES.items()}
+
+#: Attribute under which salvage provenance is attached to a ``Dataset`` instance.
+_PROVENANCE_ATTR = "_salvage_provenance"
+
+#: Reports keep at most this many itemised events; the counters always cover everything.
+_MAX_EVENTS = 200
+
+
+def attach_provenance(dataset: Dataset, provenance: dict[str, np.ndarray]) -> None:
+    """Attach per-cell provenance flag arrays to a salvaged dataset instance.
+
+    The mapping is column name → ``int8`` array of length ``n_rows``.  Like
+    the cached encoding, provenance rides on the *instance*: derived datasets
+    (``take``, ``concat``, …) do not inherit it.
+    """
+    setattr(dataset, _PROVENANCE_ATTR, provenance)
+
+
+def dataset_provenance(dataset: Dataset) -> dict[str, np.ndarray] | None:
+    """Return the provenance attached by the salvage tier, or ``None``."""
+    return getattr(dataset, _PROVENANCE_ATTR, None)
+
+
+def provenance_counts(
+    provenance: dict[str, np.ndarray], columns: list[str] | None = None
+) -> dict[str, int]:
+    """Count flagged cells by symbolic name over the selected columns.
+
+    ``OK`` cells are not counted; the result maps e.g. ``"PADDED" -> 3`` in
+    stable code order, omitting codes with zero occurrences.
+    """
+    selected = columns if columns is not None else list(provenance)
+    totals = np.zeros(len(PROVENANCE_NAMES), dtype=np.int64)
+    for name in selected:
+        flags = provenance.get(name)
+        if flags is None:
+            continue
+        totals += np.bincount(flags.astype(np.int64), minlength=len(PROVENANCE_NAMES))
+    return {
+        PROVENANCE_NAMES[code]: int(totals[code])
+        for code in range(1, len(PROVENANCE_NAMES))
+        if totals[code]
+    }
+
+
+@dataclass
+class SalvageReport:
+    """What the tolerant CSV reader did to produce its dataset.
+
+    ``flag_counts`` aggregates the per-cell provenance (excluding ``OK``);
+    ``events`` itemises row/header-level interventions (bounded at
+    ``_MAX_EVENTS`` entries, ``n_events`` counts all of them); ``provenance``
+    is the column → ``int8`` flag-array mapping also attached to the dataset.
+    """
+
+    source: str = "csv"
+    requested_encoding: str = "utf-8"
+    encoding: str = "utf-8"
+    n_replaced_characters: int = 0
+    n_physical_lines: int = 0
+    n_input_records: int = 0
+    n_rows: int = 0
+    n_columns: int = 0
+    flag_counts: dict[str, int] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    n_events: int = 0
+    provenance: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def add_event(self, line: int, action: str, detail: str) -> None:
+        """Record one intervention (bounded; the counter is always exact)."""
+        self.n_events += 1
+        if len(self.events) < _MAX_EVENTS:
+            self.events.append({"line": line, "action": action, "detail": detail})
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells in the salvaged dataset."""
+        return self.n_rows * self.n_columns
+
+    @property
+    def n_flagged_cells(self) -> int:
+        """Number of cells whose provenance is anything other than ``OK``."""
+        return sum(self.flag_counts.values())
+
+    @property
+    def cell_recovery_rate(self) -> float:
+        """Fraction of output cells recovered untouched (1.0 on clean input)."""
+        if not self.n_cells:
+            return 1.0
+        return 1.0 - self.n_flagged_cells / self.n_cells
+
+    @property
+    def is_clean(self) -> bool:
+        """True when salvage changed nothing: strict parsing would agree."""
+        return (
+            not self.n_events
+            and not self.flag_counts
+            and self.encoding == self.requested_encoding
+            and not self.n_replaced_characters
+        )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-serialisable summary (flag arrays reduced to their counts)."""
+        return {
+            "source": self.source,
+            "requested_encoding": self.requested_encoding,
+            "encoding": self.encoding,
+            "n_replaced_characters": self.n_replaced_characters,
+            "n_physical_lines": self.n_physical_lines,
+            "n_input_records": self.n_input_records,
+            "n_rows": self.n_rows,
+            "n_columns": self.n_columns,
+            "n_cells": self.n_cells,
+            "n_flagged_cells": self.n_flagged_cells,
+            "cell_recovery_rate": self.cell_recovery_rate,
+            "is_clean": self.is_clean,
+            "flag_counts": dict(self.flag_counts),
+            "n_events": self.n_events,
+            "events": [dict(event) for event in self.events],
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account, used by the CLI."""
+        lines = [
+            f"salvaged {self.n_rows} rows x {self.n_columns} columns "
+            f"from {self.n_input_records} records ({self.n_physical_lines} physical lines)",
+            f"encoding: {self.encoding}"
+            + (f" ({self.n_replaced_characters} characters replaced)" if self.n_replaced_characters else ""),
+            f"cell recovery rate: {self.cell_recovery_rate:.4f} "
+            f"({self.n_flagged_cells}/{self.n_cells} cells flagged)",
+        ]
+        if self.flag_counts:
+            flags = ", ".join(f"{name}={count}" for name, count in self.flag_counts.items())
+            lines.append(f"flags: {flags}")
+        if self.is_clean:
+            lines.append("input was clean: strict parsing would produce the identical dataset")
+        return "\n".join(lines)
+
+
+@dataclass
+class NtSalvageReport:
+    """What the line-level N-Triples salvage did to produce its graph."""
+
+    source: str = "ntriples"
+    n_lines: int = 0
+    n_triples: int = 0
+    n_repaired: int = 0
+    n_skipped: int = 0
+    events: list[dict[str, Any]] = field(default_factory=list)
+    n_events: int = 0
+
+    def add_event(self, line: int, action: str, detail: str) -> None:
+        """Record one repaired or skipped line (bounded; counters are exact)."""
+        self.n_events += 1
+        if len(self.events) < _MAX_EVENTS:
+            self.events.append({"line": line, "action": action, "detail": detail})
+
+    @property
+    def line_recovery_rate(self) -> float:
+        """Fraction of non-empty input lines that yielded a triple."""
+        attempted = self.n_triples + self.n_skipped
+        if not attempted:
+            return 1.0
+        return self.n_triples / attempted
+
+    @property
+    def is_clean(self) -> bool:
+        """True when every line parsed strictly with no repair or skip."""
+        return not self.n_repaired and not self.n_skipped
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-serialisable summary of the salvage run."""
+        return {
+            "source": self.source,
+            "n_lines": self.n_lines,
+            "n_triples": self.n_triples,
+            "n_repaired": self.n_repaired,
+            "n_skipped": self.n_skipped,
+            "line_recovery_rate": self.line_recovery_rate,
+            "is_clean": self.is_clean,
+            "n_events": self.n_events,
+            "events": [dict(event) for event in self.events],
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account, used by the CLI."""
+        lines = [
+            f"salvaged {self.n_triples} triples from {self.n_lines} lines",
+            f"repaired {self.n_repaired} lines, skipped {self.n_skipped} lines "
+            f"(line recovery rate {self.line_recovery_rate:.4f})",
+        ]
+        if self.is_clean:
+            lines.append("input was clean: strict parsing would produce the identical graph")
+        return "\n".join(lines)

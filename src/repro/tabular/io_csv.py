@@ -27,12 +27,42 @@ def _normalise_cell(cell: str | None) -> str | None:
     return text
 
 
+def _count_outside_quotes(line: str, char: str) -> int:
+    """Count occurrences of ``char`` in ``line`` that sit outside quoted runs.
+
+    Quoting follows the CSV convention: a ``"`` toggles the quoted state and a
+    doubled ``""`` inside a quoted run is an escaped literal quote (which does
+    not toggle).  A header such as ``"a,b";c`` therefore counts zero commas
+    and one semicolon.
+    """
+    count = 0
+    in_quotes = False
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == '"':
+            if in_quotes and i + 1 < n and line[i + 1] == '"':
+                i += 2
+                continue
+            in_quotes = not in_quotes
+        elif c == char and not in_quotes:
+            count += 1
+        i += 1
+    return count
+
+
 def _sniff_delimiter(text: str, default: str = ",") -> str:
-    """Guess the delimiter of ``text`` among comma, semicolon, tab and pipe."""
+    """Guess the delimiter of ``text`` among comma, semicolon, tab and pipe.
+
+    Only delimiters *outside* quoted fields count, so a quoted header cell
+    that itself contains a candidate delimiter (``"a,b";c``) cannot win the
+    vote for the wrong character.
+    """
     sample = text[:4096]
     candidates = [",", ";", "\t", "|"]
     header = sample.splitlines()[0] if sample.splitlines() else ""
-    counts = {d: header.count(d) for d in candidates}
+    counts = {d: _count_outside_quotes(header, d) for d in candidates}
     best = max(counts, key=counts.get)
     return best if counts[best] > 0 else default
 
@@ -50,16 +80,27 @@ def read_csv_text(
     if delimiter is None:
         delimiter = _sniff_delimiter(text)
     reader = csv.reader(io.StringIO(text), delimiter=delimiter)
-    rows = list(reader)
+    try:
+        rows = list(reader)
+    except csv.Error as exc:
+        raise SchemaError(
+            f"malformed CSV near line {reader.line_num}: {exc} "
+            "(use repro.recovery.salvage_csv to repair damaged files)"
+        ) from exc
     if len(rows) < 2:
         raise SchemaError("CSV must contain a header row and at least one data row")
     header = [h.strip() for h in rows[0]]
     if len(set(header)) != len(header):
         raise SchemaError(f"duplicate column names in CSV header: {header}")
     records = []
-    for raw in rows[1:]:
+    for row_number, raw in enumerate(rows[1:], start=2):
         if not raw or all(not cell.strip() for cell in raw):
             continue
+        if len(raw) > len(header):
+            raise SchemaError(
+                f"row {row_number} has {len(raw)} cells but the header has {len(header)}: "
+                f"{raw!r} (use repro.recovery.salvage_csv to repair ragged files)"
+            )
         padded = list(raw) + [None] * (len(header) - len(raw))
         records.append({h: _normalise_cell(c) for h, c in zip(header, padded)})
     if not records:

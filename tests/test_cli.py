@@ -257,3 +257,55 @@ class TestLodCommands:
              "--right-property", "http://a.org/x,http://a.org/y"]
         )
         assert code == 2
+
+
+class TestSalvageCommand:
+    @pytest.fixture()
+    def corrupt_csv(self, tmp_path):
+        path = tmp_path / "corrupt.csv"
+        path.write_text("city,pop\nParis,2148000,SPILL\nLyon\nNice,342000\n", encoding="utf-8")
+        return path
+
+    @pytest.fixture()
+    def corrupt_nt(self, tmp_path):
+        path = tmp_path / "corrupt.nt"
+        path.write_text(
+            '<http://ex/a> <http://ex/p> "v"\n'
+            "<http://ex/b> <http://ex/p> <http://ex/a> .\n"
+            "garbage\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_salvage_csv_with_output_and_report(self, corrupt_csv, tmp_path, capsys):
+        cleaned = tmp_path / "clean.csv"
+        report = tmp_path / "report.json"
+        code = main(
+            ["salvage", str(corrupt_csv), "--output", str(cleaned), "--report", str(report)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cell recovery rate" in output
+        assert read_csv(cleaned).column_names == ["city", "pop"]
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["is_clean"] is False
+        assert payload["flag_counts"]
+
+    def test_salvage_ntriples_auto_detected(self, corrupt_nt, tmp_path, capsys):
+        cleaned = tmp_path / "clean.nt"
+        assert main(["salvage", str(corrupt_nt), "--output", str(cleaned)]) == 0
+        output = capsys.readouterr().out
+        assert "repaired 1 lines, skipped 1 lines" in output
+        assert cleaned.read_text(encoding="utf-8").count(" .") == 2
+
+    def test_salvage_clean_file_reports_clean(self, csv_path, capsys):
+        assert main(["salvage", str(csv_path)]) == 0
+        assert "input was clean" in capsys.readouterr().out
+
+    def test_salvage_strict_hatch_fails_on_corrupt_input(self, corrupt_csv, capsys):
+        assert main(["salvage", str(corrupt_csv), "--strict"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_salvage_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["salvage", str(tmp_path / "nope.csv")]) == 2
+        assert "does not exist" in capsys.readouterr().err

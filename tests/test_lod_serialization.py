@@ -62,6 +62,24 @@ class TestNTriples:
         with pytest.raises(LODError):
             parse_ntriples("this is not a triple .")
 
+    def test_parse_error_names_line_and_quotes_offender(self):
+        text = (
+            '<http://example.org/a> <http://example.org/p> "ok" .\n'
+            "this line is broken\n"
+        )
+        with pytest.raises(LODError, match="line 2") as excinfo:
+            parse_ntriples(text)
+        assert "this line is broken" in str(excinfo.value)
+
+    def test_datatype_mismatch_reported_with_line(self):
+        text = (
+            '<http://example.org/a> <http://example.org/p> '
+            '"not-a-number"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+        )
+        with pytest.raises(LODError, match="line 1.*datatype") as excinfo:
+            parse_ntriples(text)
+        assert "not-a-number" in str(excinfo.value)
+
     def test_bnode_roundtrip(self, graph):
         parsed = parse_ntriples(to_ntriples(graph))
         assert any(isinstance(t.subject, BNode) for t in parsed)

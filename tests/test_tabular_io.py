@@ -49,6 +49,31 @@ class TestCSV:
         ds = read_csv_text("a,b,c\n1,2\n")
         assert is_missing_value(ds["c"][0])
 
+    def test_long_rows_rejected_not_silently_truncated(self):
+        with pytest.raises(SchemaError, match="row 2 has 3 cells"):
+            read_csv_text("a,b\n1,2,3\n")
+
+    def test_long_row_error_names_the_salvage_tier(self):
+        with pytest.raises(SchemaError, match="salvage"):
+            read_csv_text("a,b\nx,1\ny,2,SPILL\n")
+
+    def test_reader_choke_wrapped_as_schema_error(self):
+        # an embedded bare \r makes csv.reader raise; the strict tier must
+        # surface that as an actionable SchemaError, not a raw _csv.Error
+        with pytest.raises(SchemaError, match="malformed CSV.*salvage"):
+            read_csv_text("a,b\n1,2\nbad\rcell,3\n4,5\n")
+
+    def test_quoted_header_does_not_confuse_sniffer(self):
+        # the comma inside the quoted header cell must not outvote the
+        # real semicolon delimiter
+        ds = read_csv_text('"a,b";c\n1;2\n')
+        assert ds.column_names == ["a,b", "c"]
+        assert ds.n_rows == 1
+
+    def test_quoted_header_with_escaped_quotes_sniffed(self):
+        ds = read_csv_text('"say ""hi, there""";c\nx;2\n')
+        assert ds.column_names == ['say "hi, there"', "c"]
+
     def test_roundtrip_file(self, tmp_path, budget_dataset):
         path = write_csv(budget_dataset, tmp_path / "budget.csv")
         loaded = read_csv(path)
@@ -69,6 +94,52 @@ class TestCSV:
     def test_read_csv_files_empty_rejected(self):
         with pytest.raises(SchemaError):
             read_csv_files([])
+
+
+class TestCSVRoundTripFixpoint:
+    """``read_csv_text(write_csv_text(ds))`` must be a fixpoint after one hop.
+
+    The first hop may normalise lexical forms (``TRUE`` → ``true``, ``3.0`` →
+    ``3``); from then on, writing and re-reading must reproduce the dataset
+    exactly, for every supported delimiter.
+    """
+
+    MIXED = (
+        "name,count,ratio,flag,note\n"
+        "alpha,1,0.5,true,x\n"
+        "beta,2,2.25,false,?\n"
+        "gamma,,3.0,TRUE,\n"
+        "delta,4,,false,y\n"
+    )
+
+    @pytest.mark.parametrize("delimiter", [",", ";", "\t", "|"])
+    def test_round_trip_is_a_fixpoint(self, delimiter):
+        first = read_csv_text(self.MIXED)
+        second = read_csv_text(write_csv_text(first, delimiter=delimiter))
+        third = read_csv_text(write_csv_text(second, delimiter=delimiter))
+        assert second == third
+        assert second.column_names == first.column_names
+        assert [c.ctype for c in second.columns] == [c.ctype for c in first.columns]
+
+    def test_missing_tokens_stay_missing_across_round_trips(self):
+        first = read_csv_text("a,b\n1,NA\n2,null\n3,?\n")
+        assert first["b"].n_missing() == 3
+        second = read_csv_text(write_csv_text(first))
+        assert second["b"].n_missing() == 3
+        assert second == read_csv_text(write_csv_text(second))
+
+    def test_bool_and_integral_float_formatting(self):
+        first = read_csv_text("flag,n\ntrue,1\nfalse,2\n")
+        text = write_csv_text(first)
+        assert "true" in text and "false" in text
+        assert "1\r\n" in text or "1\n" in text  # integral floats written as ints
+        assert "1.0" not in text
+        assert read_csv_text(text) == first
+
+    def test_fixpoint_for_generated_dataset(self, budget_dataset):
+        second = read_csv_text(write_csv_text(budget_dataset))
+        third = read_csv_text(write_csv_text(second))
+        assert second == third
 
 
 class TestJSON:
