@@ -239,13 +239,102 @@ def _cmd_lod_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_save(args: argparse.Namespace) -> int:
+    """Encode a CSV or N-Triples source into a binary store file."""
+    path = Path(args.data)
+    if not path.exists():
+        raise ReproError(f"input file {args.data} does not exist")
+    is_ntriples = args.format == "ntriples" or (args.format == "auto" and path.suffix == ".nt")
+    if is_ntriples:
+        graph = parse_ntriples(path)
+        out = graph.save(args.output)
+        print(f"stored {len(graph)} triples ({len(graph.store.columnar().terms)} terms) to {out}")
+    else:
+        dataset = _load_dataset(args.data, args.target, args.identifier)
+        out = dataset.save(args.output)
+        print(f"stored {dataset.n_rows} rows x {dataset.n_columns} columns to {out}")
+    return 0
+
+
+def _cmd_store_open(args: argparse.Namespace) -> int:
+    """Open a store file (memory-mapped) and print a summary of its payload."""
+    from repro.store import StoreFile, open_dataset, open_graph
+    from repro.store.format import KIND_DATASET
+
+    store_file = StoreFile(args.store)
+    if store_file.kind == KIND_DATASET:
+        dataset = open_dataset(args.store, force_memory=args.force_memory, verify=args.verify)
+        print(f"dataset {dataset.name!r}: {dataset.n_rows} rows x {dataset.n_columns} columns")
+        for name, info in dataset.summary().items():
+            print(f"  {name:<24} {info['type']:<12} {info['role']:<11} "
+                  f"missing={info['n_missing']} distinct={info['n_distinct']}")
+        if args.head:
+            from repro.bi.reporting import dataset_to_table_text
+
+            print()
+            print(dataset_to_table_text(dataset.head(args.head)))
+    else:
+        graph = open_graph(args.store, force_memory=args.force_memory, verify=args.verify)
+        columnar = graph.store.columnar()
+        print(f"graph <{graph.identifier}>: {len(graph)} triples, {len(columnar.terms)} interned terms")
+        for i, triple in enumerate(graph):
+            if i >= args.head:
+                break
+            print(f"  {triple.n3()}")
+    return 0
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    """Print the header and section directory of a store file."""
+    from repro.store import inspect_store
+
+    info = inspect_store(args.store, verify=args.verify)
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0 if not info["damaged"] else 1
+    print(f"{info['path']}: format v{info['format_version']}, {info['payload']} payload, "
+          f"{info['n_sections']} sections, {info['file_length']} bytes")
+    print(f"{'section':<18}{'kind':<6}{'derived':<9}{'offset':>10}{'length':>12}{'count':>10}  status")
+    kinds = {1: "arr", 2: "str", 3: "json"}
+    for section in info["sections"]:
+        print(f"{section['name']:<18}{kinds.get(section['kind'], '?'):<6}"
+              f"{'yes' if section['derived'] else 'no':<9}{section['offset']:>10}"
+              f"{section['length']:>12}{section['count']:>10}  {section['status']}")
+    if info["damaged"]:
+        print(f"damaged sections: {', '.join(info['damaged'])} "
+              "(see repro.recovery.salvage_store / `repro salvage`)")
+        return 1
+    return 0
+
+
 def _cmd_salvage(args: argparse.Namespace) -> int:
-    """Salvage a partially corrupt CSV or N-Triples file and report on it."""
+    """Salvage a partially corrupt CSV, N-Triples or store file and report on it."""
     from repro.recovery import salvage_csv, salvage_ntriples
 
     path = Path(args.data)
     if not path.exists():
         raise ReproError(f"input file {args.data} does not exist")
+    if args.format == "store" or (args.format == "auto" and path.suffix == ".rps"):
+        from repro.recovery import salvage_store
+        from repro.tabular.dataset import Dataset as _Dataset
+
+        payload, report = salvage_store(path)
+        if args.output:
+            if isinstance(payload, _Dataset):
+                from repro.tabular.io_csv import write_csv
+
+                write_csv(payload, args.output)
+                print(f"wrote {payload.n_rows} salvaged rows to {args.output}")
+            else:
+                to_ntriples(payload, args.output)
+                print(f"wrote {len(payload)} salvaged triples to {args.output}")
+        print(report.summary())
+        if args.report:
+            Path(args.report).write_text(
+                json.dumps(report.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"wrote salvage report to {args.report}")
+        return 0
     is_ntriples = args.format == "ntriples" or (args.format == "auto" and path.suffix == ".nt")
     if is_ntriples:
         graph, report = salvage_ntriples(path, _force_strict=args.strict)
@@ -387,12 +476,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use the exhaustive pairwise reference tier instead of blocking")
     link.set_defaults(func=_cmd_lod_link)
 
+    store = subparsers.add_parser("store", help="save, open and inspect binary encoded store files")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_save = store_sub.add_parser("save", help="encode a CSV or N-Triples source into a .rps store file")
+    store_save.add_argument("data", help="path to the CSV or N-Triples input")
+    store_save.add_argument("output", help=".rps store path to write")
+    store_save.add_argument("--format", choices=("auto", "csv", "ntriples"), default="auto",
+                            help="input format (auto: .nt is N-Triples, anything else CSV)")
+    store_save.add_argument("--target", help="name of the class/target column (CSV)")
+    store_save.add_argument("--identifier", help="name of the identifier column (CSV)")
+    store_save.set_defaults(func=_cmd_store_save)
+
+    store_open = store_sub.add_parser("open", help="memory-map a store file and summarise its payload")
+    store_open.add_argument("store", help=".rps store file to open")
+    store_open.add_argument("--head", type=int, default=5, help="rows/triples to preview (0: none)")
+    store_open.add_argument("--force-memory", action="store_true",
+                            help="materialise arrays into memory instead of memory-mapping them")
+    store_open.add_argument("--verify", action="store_true", help="checksum every array section up front")
+    store_open.set_defaults(func=_cmd_store_open)
+
+    store_inspect = store_sub.add_parser("inspect", help="print the header and section directory of a store file")
+    store_inspect.add_argument("store", help=".rps store file to inspect")
+    store_inspect.add_argument("--verify", action="store_true", help="CRC-check every section payload")
+    store_inspect.add_argument("--json", action="store_true", help="emit the structural summary as JSON")
+    store_inspect.set_defaults(func=_cmd_store_inspect)
+
     salvage = subparsers.add_parser(
-        "salvage", help="tolerantly parse a partially corrupt CSV or N-Triples file"
+        "salvage", help="tolerantly parse a partially corrupt CSV, N-Triples or store file"
     )
     salvage.add_argument("data", help="path to the (possibly corrupt) input file")
-    salvage.add_argument("--format", choices=("auto", "csv", "ntriples"), default="auto",
-                         help="input format (auto: .nt is N-Triples, anything else CSV)")
+    salvage.add_argument("--format", choices=("auto", "csv", "ntriples", "store"), default="auto",
+                         help="input format (auto: .nt is N-Triples, .rps is a binary store, anything else CSV)")
     salvage.add_argument("--output", help="write the salvaged CSV/N-Triples to this file")
     salvage.add_argument("--report", help="write the salvage report as JSON to this file")
     salvage.add_argument("--encoding", default="utf-8", help="expected text encoding (CSV)")

@@ -38,3 +38,27 @@ class LODError(ReproError):
 
 class OLAPError(ReproError):
     """An OLAP cube operation was invalid (unknown dimension, measure…)."""
+
+
+class StoreError(ReproError):
+    """A binary encoded-store file could not be written or opened."""
+
+
+class StoreCorruptionError(StoreError):
+    """A store file failed checksum or bounds validation.
+
+    The error pinpoints the offending section so callers can decide whether
+    the file is worth salvaging: ``section`` names the section (or the
+    pseudo-sections ``"header"`` / ``"directory"``), ``reason`` describes the
+    failed check, and ``salvageable`` is ``True`` when the damage is limited
+    to sections the tolerant tier (:func:`repro.recovery.salvage_store`) can
+    drop or rebuild from the surviving primaries.
+    """
+
+    def __init__(self, path, section: str, reason: str, salvageable: bool = False) -> None:
+        self.path = str(path)
+        self.section = section
+        self.reason = reason
+        self.salvageable = salvageable
+        hint = "; repro.recovery.salvage_store may recover it" if salvageable else ""
+        super().__init__(f"store {self.path}: section {section!r}: {reason}{hint}")

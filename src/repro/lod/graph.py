@@ -174,3 +174,33 @@ class Graph:
         clone.store = self.store.copy()
         clone._bnode_counter = self._bnode_counter
         return clone
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path):
+        """Write this graph and its columnar snapshot to a binary store file.
+
+        The file (format: ``docs/store-format.md``) captures the interned
+        term table, all three index orderings and their block tables, so
+        :meth:`open` can memory-map the snapshot back without re-interning.
+        Returns the path written.
+        """
+        from repro.store import save_graph
+
+        return save_graph(self, path)
+
+    @classmethod
+    def open(cls, path, force_memory: bool = False, verify: bool = False) -> "Graph":
+        """Open a graph store file as zero-copy memory-mapped views.
+
+        The returned graph carries a pre-wired
+        :class:`~repro.lod.triples.ColumnarTriples` snapshot, so vectorized
+        queries run without any per-triple Python; the reference-tier dict
+        indexes replay lazily from the saved arrays in their exact original
+        iteration order, keeping every result bit-identical to the graph
+        that was saved.  ``force_memory=True`` materialises all arrays into
+        memory; ``verify=True`` checksums every array section up front.
+        """
+        from repro.store import open_graph
+
+        return open_graph(path, force_memory=force_memory, verify=verify)

@@ -32,7 +32,7 @@ class ColumnarTriples:
     each dict index of the store (``"spo"``, ``"pos"``, ``"osp"``) the
     snapshot holds three parallel ``int64`` arrays ``(s_ids, p_ids, o_ids)``
     whose row order is **exactly** the iteration order of that index's nested
-    dicts and sets.  This is what lets the vectorized query join reproduce
+    dicts.  This is what lets the vectorized query join reproduce
     the row order of the reference binding-at-a-time matcher bit for bit:
     filtering the arrays of the index the reference would have consulted
     yields matches in the same sequence the reference yields them.
@@ -167,13 +167,19 @@ class TripleStore:
     """A set of triples with SPO / POS / OSP indexes.
 
     The store behaves like a set: adding the same triple twice keeps one copy.
+    Every level of the three indexes is an insertion-ordered dict (the leaves
+    are ``dict[X, None]``), so iteration order — and therefore the row order
+    of every reference-tier scan and of the columnar snapshot built from it —
+    is a deterministic function of the store's mutation history.  That
+    determinism is what lets the on-disk store (:mod:`repro.store`) replay a
+    saved snapshot's arrays back into identical dict indexes on reopen.
     """
 
     def __init__(self, triples: Iterable[Triple] | None = None) -> None:
         """Create a store, optionally filled from an iterable of triples."""
-        self._spo: dict[Subject, dict[Predicate, set[Object]]] = {}
-        self._pos: dict[Predicate, dict[Object, set[Subject]]] = {}
-        self._osp: dict[Object, dict[Subject, set[Predicate]]] = {}
+        self._spo: dict[Subject, dict[Predicate, dict[Object, None]]] = {}
+        self._pos: dict[Predicate, dict[Object, dict[Subject, None]]] = {}
+        self._osp: dict[Object, dict[Subject, dict[Predicate, None]]] = {}
         self._size = 0
         self._columnar: ColumnarTriples | None = None
         if triples:
@@ -187,12 +193,12 @@ class TripleStore:
         if not isinstance(triple, Triple):
             raise LODError("TripleStore.add expects a Triple")
         s, p, o = triple.as_tuple()
-        bucket = self._spo.setdefault(s, {}).setdefault(p, set())
+        bucket = self._spo.setdefault(s, {}).setdefault(p, {})
         if o in bucket:
             return False
-        bucket.add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        bucket[o] = None
+        self._pos.setdefault(p, {}).setdefault(o, {})[s] = None
+        self._osp.setdefault(o, {}).setdefault(s, {})[p] = None
         self._size += 1
         self._columnar = None
         return True
@@ -203,17 +209,17 @@ class TripleStore:
         bucket = self._spo.get(s, {}).get(p)
         if not bucket or o not in bucket:
             return False
-        bucket.discard(o)
+        del bucket[o]
         if not bucket:
             del self._spo[s][p]
             if not self._spo[s]:
                 del self._spo[s]
-        self._pos[p][o].discard(s)
+        del self._pos[p][o][s]
         if not self._pos[p][o]:
             del self._pos[p][o]
             if not self._pos[p]:
                 del self._pos[p]
-        self._osp[o][s].discard(p)
+        del self._osp[o][s][p]
         if not self._osp[o][s]:
             del self._osp[o][s]
             if not self._osp[o]:
@@ -235,7 +241,7 @@ class TripleStore:
     def __contains__(self, triple: Triple) -> bool:
         """Whether the store holds ``triple``."""
         s, p, o = triple.as_tuple()
-        return o in self._spo.get(s, {}).get(p, set())
+        return o in self._spo.get(s, {}).get(p, ())
 
     def __iter__(self) -> Iterator[Triple]:
         """Iterate over all triples in SPO index order."""
@@ -259,7 +265,7 @@ class TripleStore:
             by_predicate = self._spo.get(s, {})
             predicates = [p] if p is not None else list(by_predicate)
             for pred in predicates:
-                for obj in by_predicate.get(pred, set()):
+                for obj in by_predicate.get(pred, ()):
                     if o is None or obj == o:
                         yield Triple(s, pred, obj)
             return
@@ -267,7 +273,7 @@ class TripleStore:
             by_object = self._pos.get(p, {})
             objects = [o] if o is not None else list(by_object)
             for obj in objects:
-                for subj in by_object.get(obj, set()):
+                for subj in by_object.get(obj, ()):
                     yield Triple(subj, p, obj)
             return
         if o is not None:
@@ -282,7 +288,7 @@ class TripleStore:
         """Distinct subjects of triples matching the (predicate, object) pattern."""
         if predicate is not None and object is not None:
             # Fast path: the POS bucket lists exactly these subjects, in the
-            # same set-iteration order the match() scan would visit them.
+            # same insertion order the match() scan would visit them.
             return list(self._pos.get(predicate, {}).get(object, ()))
         seen: dict[Subject, None] = {}
         for triple in self.match(None, predicate, object):
@@ -304,7 +310,7 @@ class TripleStore:
         """Distinct objects of triples matching the (subject, predicate) pattern."""
         if subject is not None and predicate is not None:
             # Fast path: the SPO bucket holds exactly these objects, in the
-            # same set-iteration order the match() scan would yield them.
+            # same insertion order the match() scan would yield them.
             return list(self._spo.get(subject, {}).get(predicate, ()))
         seen: dict[Object, None] = {}
         for triple in self.match(subject, predicate, None):

@@ -14,6 +14,11 @@ the ``_force_strict`` escape hatches).
 The :mod:`~repro.recovery.corrupt` module provides the matching seeded,
 severity-parameterised file corruptors so the inject → salvage → profile
 round trip can be tested and benchmarked end to end.
+
+:func:`~repro.recovery.salvage_store.salvage_store` extends the tier to the
+binary persistence format (:mod:`repro.store`): damaged *derived* sections
+are rebuilt from primaries, columns with damaged primaries are dropped and
+reported, and only header/directory/term-table/SPO damage is fatal.
 """
 
 from repro.recovery.corrupt import (
@@ -40,6 +45,11 @@ from repro.recovery.provenance import (
 )
 from repro.recovery.salvage_csv import SalvageResult, salvage_csv, salvage_csv_text
 from repro.recovery.salvage_ntriples import NtSalvageResult, salvage_ntriples
+from repro.recovery.salvage_store import (
+    StoreSalvageReport,
+    StoreSalvageResult,
+    salvage_store,
+)
 
 __all__ = [
     "CORRUPTOR_REGISTRY",
@@ -65,4 +75,7 @@ __all__ = [
     "salvage_csv_text",
     "NtSalvageResult",
     "salvage_ntriples",
+    "StoreSalvageReport",
+    "StoreSalvageResult",
+    "salvage_store",
 ]

@@ -1,0 +1,394 @@
+"""Open ``.rps`` store files as memory-mapped datasets and graphs.
+
+Opening does no per-cell work: array sections become zero-copy read-only
+:class:`numpy.memmap` views wired straight into the instance caches the
+execution core already consumes (:class:`~repro.tabular.encoded.EncodedDataset`
+for datasets, :class:`~repro.lod.triples.ColumnarTriples` for graphs), so a
+reopened payload starts in microseconds regardless of size and every hot
+path is bit-identical to a cold in-memory encode of the same data.
+
+Two store-backed lazy types bridge the gap to the object tiers:
+
+* :class:`StoredColumn` — a :class:`~repro.tabular.dataset.Column` whose
+  Python object cells are materialised from the code array and level table
+  only when something actually asks for them;
+* :class:`StoredTripleStore` — a :class:`~repro.lod.triples.TripleStore`
+  whose three dict indexes are replayed from the saved order arrays on
+  first access, so reference-tier scans see the exact iteration order the
+  live store had at save time.
+
+``force_memory=True`` is the escape hatch back to the in-memory tier: every
+array is copied out of the map (the two tiers must be bit-identical, which
+the round-trip test suite enforces).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StoreError
+from repro.lod.graph import Graph
+from repro.lod.terms import BNode, IRI, Literal
+from repro.lod.triples import ColumnarTriples, TripleStore
+from repro.store.format import KIND_DATASET, KIND_GRAPH, KIND_NAMES, StoreFile
+from repro.store.writer import (
+    TERM_BNODE,
+    TERM_IRI,
+    TERM_LITERAL,
+    VTAG_BOOL,
+    VTAG_FLOAT,
+    VTAG_INT,
+    VTAG_STR,
+)
+from repro.tabular.dataset import Column, ColumnType, Dataset
+from repro.tabular.encoded import encode_dataset
+
+
+class StoredColumn(Column):
+    """A non-numeric column backed by a store file's code array.
+
+    Holds the int64 codes, the raw level table (``str`` levels, or ``bool``
+    for BOOLEAN columns) and the memory-mapped missing mask; the object-cell
+    array every :class:`~repro.tabular.dataset.Column` API is defined over
+    is materialised lazily (``levels[code]``, ``None`` for ``-1``) the first
+    time something reads it.  The encoded hot paths never do — their views
+    are seeded from the store — so CV folds, group-bys and profiles run
+    without ever paying the object materialisation.
+
+    Mutating operations inherit the copy-on-write semantics of the plain
+    column API: they read the cells through the ``_values`` property and
+    build ordinary in-memory columns, leaving the map untouched.
+    """
+
+    __slots__ = ("_codes", "_levels", "_cells")
+
+    @classmethod
+    def _build(cls, name: str, ctype: str, role: str, codes: np.ndarray,
+               levels: list, missing: np.ndarray | None) -> "StoredColumn":
+        """Assemble a stored column without running ``Column.__init__``."""
+        column = cls.__new__(cls)
+        column.name = name
+        column.ctype = ctype
+        column.role = role
+        column._codes = codes
+        column._levels = levels
+        column._cells = None
+        column._missing_cache = missing
+        return column
+
+    @property
+    def _values(self) -> np.ndarray:
+        """The object-cell array, materialised on first access and cached."""
+        cells = self._cells
+        if cells is None:
+            table = np.empty(len(self._levels) + 1, dtype=object)
+            for i, level in enumerate(self._levels):
+                table[i] = level
+            table[-1] = None  # code -1 indexes here
+            cells = table[np.asarray(self._codes)]
+            self._cells = cells
+        return cells
+
+    def __len__(self) -> int:
+        """Row count, read from the code array (no cell materialisation)."""
+        return int(self._codes.shape[0])
+
+    def take(self, indices) -> "StoredColumn":
+        """Row subset that stays lazy: sliced codes, shared level table."""
+        index_array = np.asarray(indices, dtype=int)
+        return StoredColumn._build(
+            self.name,
+            self.ctype,
+            self.role,
+            np.asarray(self._codes)[index_array],
+            self._levels,
+            self._missing_cache[index_array] if self._missing_cache is not None else None,
+        )
+
+
+class StoredTripleStore(TripleStore):
+    """A triple store whose dict indexes replay from saved order arrays.
+
+    ``TripleStore`` keeps its three indexes as insertion-ordered nested
+    dicts; this subclass starts with none of them built and replays each —
+    independently, from its own saved ``(s, p, o)`` id arrays — on first
+    access.  Replaying per index matters: the three indexes first see keys
+    in different orders during live mutation, so rebuilding all three from
+    the SPO arrays would change POS/OSP iteration order and break
+    bit-identicality of reference-tier scans.
+
+    Mutations force all three indexes to materialise first (a partially
+    replayed store must not later replay an index from arrays that no
+    longer reflect the dicts), then delegate to the plain implementation.
+    """
+
+    def __init__(self, terms: list, orders: dict, n_triples: int) -> None:
+        """Wrap the decoded term table and the saved per-index id arrays."""
+        self._terms = terms
+        self._saved_orders = orders
+        self._spo_index: dict | None = None
+        self._pos_index: dict | None = None
+        self._osp_index: dict | None = None
+        self._size = n_triples
+        self._columnar = None
+
+    @property
+    def _spo(self) -> dict:
+        """The SPO dict index, replayed from the saved SPO arrays on first use."""
+        if self._spo_index is None:
+            self._spo_index = self._replay("spo")
+        return self._spo_index
+
+    @property
+    def _pos(self) -> dict:
+        """The POS dict index, replayed from the saved POS arrays on first use."""
+        if self._pos_index is None:
+            self._pos_index = self._replay("pos")
+        return self._pos_index
+
+    @property
+    def _osp(self) -> dict:
+        """The OSP dict index, replayed from the saved OSP arrays on first use."""
+        if self._osp_index is None:
+            self._osp_index = self._replay("osp")
+        return self._osp_index
+
+    def _replay(self, index: str) -> dict:
+        """Insert the saved ``index`` rows into fresh nested dicts, in order."""
+        terms = self._terms
+        s_ids, p_ids, o_ids = self._saved_orders[index]
+        if index == "spo":
+            first, second, third = s_ids, p_ids, o_ids
+        elif index == "pos":
+            first, second, third = p_ids, o_ids, s_ids
+        else:
+            first, second, third = o_ids, s_ids, p_ids
+        nested: dict = {}
+        for a, b, c in zip(first.tolist(), second.tolist(), third.tolist()):
+            nested.setdefault(terms[a], {}).setdefault(terms[b], {})[terms[c]] = None
+        return nested
+
+    def _materialize(self) -> None:
+        """Force all three dict indexes before the first mutation."""
+        if self._spo_index is None:
+            self._spo_index = self._replay("spo")
+        if self._pos_index is None:
+            self._pos_index = self._replay("pos")
+        if self._osp_index is None:
+            self._osp_index = self._replay("osp")
+
+    def add(self, triple) -> bool:
+        """Add a triple (materialising the dict indexes first)."""
+        self._materialize()
+        return super().add(triple)
+
+    def discard(self, triple) -> bool:
+        """Remove a triple (materialising the dict indexes first)."""
+        self._materialize()
+        return super().discard(triple)
+
+
+def _open_store(path: Path | str, expected_kind: int) -> StoreFile:
+    """Open ``path`` and check its payload kind."""
+    store_file = StoreFile(path)
+    if store_file.kind != expected_kind:
+        raise StoreError(
+            f"store {path} holds a {KIND_NAMES[store_file.kind]} payload, "
+            f"not a {KIND_NAMES[expected_kind]}"
+        )
+    return store_file
+
+
+def _loader(force_memory: bool):
+    """Identity for the memmap tier; a copying loader for the memory tier."""
+    return (lambda view: np.array(view)) if force_memory else (lambda view: view)
+
+
+def open_dataset(path: Path | str, force_memory: bool = False, verify: bool = False) -> Dataset:
+    """Open a dataset store file; see :meth:`repro.tabular.dataset.Dataset.open`.
+
+    Numeric columns alias the mapped ``float64`` sections directly; object
+    columns become lazy :class:`StoredColumn` instances; and the dataset's
+    :class:`~repro.tabular.encoded.EncodedDataset` cache is pre-seeded with
+    the saved code arrays, vocabularies, numeric views and normalised level
+    tables — so the encoding step every hot path starts with is skipped
+    entirely.  ``verify=True`` additionally checksums every array section
+    (metadata sections are always checked).
+    """
+    store_file = _open_store(path, KIND_DATASET)
+    meta = store_file.json("meta")
+    load = _loader(force_memory)
+    columns: list[Column] = []
+    seeds: list[tuple] = []
+    for described in meta["columns"]:
+        name, ctype, role, prefix = described["name"], described["ctype"], described["role"], described["prefix"]
+        if ctype == ColumnType.NUMERIC:
+            column = Column.__new__(Column)
+            column.name = name
+            column.ctype = ctype
+            column.role = role
+            column._values = load(store_file.array(f"{prefix}.val"))
+            column._missing_cache = None
+        else:
+            codes = load(store_file.array(f"{prefix}.cod"))
+            vocabulary = store_file.strings(f"{prefix}.lev")
+            mask = load(store_file.array(f"{prefix}.msk"))
+            levels = [text == "True" for text in vocabulary] if ctype == ColumnType.BOOLEAN else vocabulary
+            column = StoredColumn._build(name, ctype, role, codes, levels, mask)
+            seeds.append(
+                (
+                    name,
+                    codes,
+                    vocabulary,
+                    load(store_file.array(f"{prefix}.num")),
+                    load(store_file.array(f"{prefix}.nmk")),
+                    store_file.strings(f"{prefix}.nrm"),
+                )
+            )
+        columns.append(column)
+    dataset = Dataset(columns, name=meta["name"])
+    encoded = encode_dataset(dataset)
+    for name, codes, vocabulary, num_values, num_missing, normalised in seeds:
+        encoded.seed_categorical(name, codes, vocabulary)
+        encoded.seed_numeric(name, num_values, num_missing)
+        encoded.seed_normalised(name, normalised)
+    if verify:
+        store_file.verify()
+    dataset._store_file = store_file  # keeps the map alive; provenance for tools
+    return dataset
+
+
+def _decode_terms(store_file: StoreFile) -> list:
+    """Decode the interned term table back into RDF term objects.
+
+    Terms were validated when first constructed, before saving, so decoding
+    bypasses ``__post_init__`` validation with ``object.__new__`` — opening
+    must not re-pay per-term regex checks.
+    """
+    kinds = store_file.array("term.knd")
+    texts = store_file.strings("term.txt")
+    vtags = store_file.array("term.vtg")
+    datatype_ids = store_file.array("term.dty")
+    language_ids = store_file.array("term.lng")
+    datatypes = [_new_iri(value) for value in store_file.strings("dty.tab")]
+    languages = store_file.strings("lng.tab")
+    terms: list = []
+    for kind, text, vtag, datatype_id, language_id in zip(
+        kinds.tolist(), texts, vtags.tolist(), datatype_ids.tolist(), language_ids.tolist()
+    ):
+        if kind == TERM_IRI:
+            terms.append(_new_iri(text))
+        elif kind == TERM_BNODE:
+            term = object.__new__(BNode)
+            object.__setattr__(term, "identifier", text)
+            terms.append(term)
+        elif kind == TERM_LITERAL:
+            if vtag == VTAG_STR:
+                value = text
+            elif vtag == VTAG_INT:
+                value = int(text)
+            elif vtag == VTAG_FLOAT:
+                value = float(text)
+            elif vtag == VTAG_BOOL:
+                value = text == "true"
+            else:
+                raise StoreError(f"store {store_file.path}: unknown literal value tag {vtag}")
+            term = object.__new__(Literal)
+            object.__setattr__(term, "value", value)
+            object.__setattr__(term, "datatype", datatypes[datatype_id] if datatype_id >= 0 else None)
+            object.__setattr__(term, "language", languages[language_id] if language_id >= 0 else None)
+            terms.append(term)
+        else:
+            raise StoreError(f"store {store_file.path}: unknown term kind {kind}")
+    return terms
+
+
+def _new_iri(value: str) -> IRI:
+    """Construct an :class:`IRI` without re-running its validation regex."""
+    iri = object.__new__(IRI)
+    object.__setattr__(iri, "value", value)
+    return iri
+
+
+def open_graph(path: Path | str, force_memory: bool = False, verify: bool = False) -> Graph:
+    """Open a graph store file; see :meth:`repro.lod.graph.Graph.open`.
+
+    The columnar snapshot is rebuilt directly from the mapped id arrays and
+    block tables (no interning pass), and the dict indexes stay unbuilt
+    until a reference-tier scan or a mutation needs them — so the vectorized
+    query path runs on a just-opened multi-million-triple graph without any
+    per-triple Python.
+    """
+    store_file = _open_store(path, KIND_GRAPH)
+    meta = store_file.json("meta")
+    load = _loader(force_memory)
+    terms = _decode_terms(store_file)
+    term_ids: dict = {}
+    for i, term in enumerate(terms):
+        term_ids.setdefault(term, i)
+    orders = {
+        index: tuple(load(store_file.array(f"{index}.{position}")) for position in "spo")
+        for index in ("spo", "pos", "osp")
+    }
+    blocks = {
+        index: tuple(load(store_file.array(f"{index}.{suffix}")) for suffix in ("bk", "bs", "be"))
+        for index in ("spo", "pos", "osp")
+    }
+    store = StoredTripleStore(terms, orders, int(meta["n_triples"]))
+    snapshot = ColumnarTriples.__new__(ColumnarTriples)
+    snapshot.terms = terms
+    snapshot.term_ids = term_ids
+    snapshot._store = store
+    snapshot._orders = orders
+    snapshot._blocks = blocks
+    store._columnar = snapshot
+    graph = Graph(meta["identifier"])
+    graph.store = store
+    for prefix, namespace in meta["prefixes"].items():
+        graph.bind(prefix, namespace)
+    graph._bnode_counter = int(meta.get("bnode_counter", 0))
+    if verify:
+        store_file.verify()
+    graph._store_file = store_file  # keeps the map alive; provenance for tools
+    return graph
+
+
+def inspect_store(path: Path | str, verify: bool = False) -> dict:
+    """Structural summary of a store file, as a JSON-serialisable dict.
+
+    Returns the header fields plus one entry per section (kind, dtype,
+    flags, offset, length, element count, checksum).  With ``verify=True``
+    every payload is CRC-checked and per-section ``"status"`` fields report
+    ``"ok"`` or the failure reason; structural damage below the
+    header/directory level is reported the same way instead of raising.
+    """
+    store_file = StoreFile(path, tolerant=True)
+    damage = dict(store_file.damage)
+    if verify:
+        damage = store_file.verify()
+    sections = []
+    for name, section in store_file.sections.items():
+        sections.append(
+            {
+                "name": name,
+                "kind": section.kind,
+                "dtype": section.dtype,
+                "derived": section.derived,
+                "offset": section.offset,
+                "length": section.length,
+                "count": section.count,
+                "crc32": section.crc,
+                "status": damage.get(name, "ok" if verify else "not checked"),
+            }
+        )
+    return {
+        "path": str(store_file.path),
+        "format_version": store_file.version,
+        "payload": KIND_NAMES[store_file.kind],
+        "file_length": store_file.file_length,
+        "n_sections": len(store_file.sections),
+        "damaged": sorted(damage),
+        "sections": sections,
+    }

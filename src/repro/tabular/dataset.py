@@ -675,6 +675,36 @@ class Dataset:
             return np.empty((self.n_rows, 0), dtype=float)
         return np.column_stack(mats)
 
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path) -> Any:
+        """Write this dataset and its encoded views to a binary store file.
+
+        The file (format: ``docs/store-format.md``) captures the raw columns
+        *and* the encoded views the hot paths run on, so :meth:`open` can
+        memory-map them back with near-zero startup cost.  Returns the path
+        written.
+        """
+        from repro.store import save_dataset
+
+        return save_dataset(self, path)
+
+    @classmethod
+    def open(cls, path, force_memory: bool = False, verify: bool = False) -> "Dataset":
+        """Open a dataset store file as zero-copy memory-mapped views.
+
+        The returned dataset skips encoding entirely: its
+        :class:`~repro.tabular.encoded.EncodedDataset` cache is pre-seeded
+        with the saved arrays, and every hot path is bit-identical to a cold
+        in-memory encode of the same data.  The mapped views are read-only;
+        mutating operations copy-on-write into memory.  ``force_memory=True``
+        materialises all arrays into memory instead of mapping them;
+        ``verify=True`` checksums every array section up front.
+        """
+        from repro.store import open_dataset
+
+        return open_dataset(path, force_memory=force_memory, verify=verify)
+
     # -- misc -----------------------------------------------------------------------
 
     def summary(self) -> dict[str, dict[str, Any]]:

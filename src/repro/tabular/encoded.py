@@ -167,6 +167,32 @@ class EncodedDataset:
         if name not in self._categorical:
             self._categorical[name] = (codes, list(vocabulary), {level: i for i, level in enumerate(vocabulary)})
 
+    def seed_numeric(self, name: str, values: np.ndarray, missing: np.ndarray) -> None:
+        """Pre-populate the numeric view of column ``name``.
+
+        Used by the persistence tier (:mod:`repro.store`): a store file
+        carries the ``float64`` values and bool missing mask that the
+        in-memory encoder produced at save time, so reopening wires the
+        memory-mapped arrays straight into the cache and skips the per-cell
+        ``float(value)`` scan.  The seeded pair must be exactly what
+        :meth:`_encode_numeric` would compute.  Seeding an already-encoded
+        column is a no-op (the cached view wins).
+        """
+        if name not in self._numeric:
+            self._numeric[name] = (values, missing)
+
+    def seed_normalised(self, name: str, levels: Sequence[str]) -> None:
+        """Pre-populate the normalised-levels cache of column ``name``.
+
+        The persistence tier saves ``normalise_string`` of every vocabulary
+        level so reopened datasets skip the per-level normalisation pass.
+        The seeded list must be exactly what :meth:`normalised_levels` would
+        compute for the column's vocabulary.  Seeding an already-normalised
+        column is a no-op (the cached list wins).
+        """
+        if name not in self._normalised:
+            self._normalised[name] = list(levels)
+
     # -- shared derived views -------------------------------------------------
 
     def missing_view(self, name: str) -> np.ndarray:
