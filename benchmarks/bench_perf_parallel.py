@@ -1,0 +1,384 @@
+"""BENCH-PERF-PARALLEL — worker-pool scaling over shared encoded views.
+
+The parallel tier (:mod:`repro.parallel`) promises two things: every
+``n_jobs`` call site stays **bit-identical** to its sequential run at any
+worker count — float summation order included, because both tiers run the
+same per-unit function and merge in unit order — and independent units
+(CV folds, ensemble member fits, quality criteria, linker blocks) scale
+with the worker count on multi-core machines.  This benchmark measures
+both promises:
+
+* *scaling curves* — each workload runs at ``n_jobs`` 1, 2 and 4 and the
+  wall-clock speedup over the sequential tier is recorded per worker
+  count, together with ``n_cores`` of the machine that produced the
+  baseline (a speedup above 1 is physically impossible on one core; the
+  curves are honest, not aspirational);
+* *parity* — every parallel result is compared against the sequential
+  result bit-for-bit (floats by their IEEE-754 bytes) and the run fails
+  on the first divergence.
+
+Results are written to ``BENCH_perf_parallel.json`` at the repository
+root.  The JSON also records a ``quick`` section at reduced sizes, used
+by the CI perf guard: ``python benchmarks/bench_perf_parallel.py
+--quick`` reruns it and fails when any parallel result diverges from the
+sequential tier, or — only when both the recording machine and the CI
+runner have enough cores for a speedup to be physically meaningful — when
+a workload's 4-worker speedup drops below half its recorded baseline.
+
+Run the full benchmark with ``pytest benchmarks/bench_perf_parallel.py -s``
+or directly with ``python benchmarks/bench_perf_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import struct
+import sys
+import time
+from pathlib import Path
+
+from repro.datasets import make_classification_dataset, service_requests
+from repro.lod.graph import Graph
+from repro.lod.linker import EntityLinker, LinkRule
+from repro.lod.terms import IRI, Literal
+from repro.lod.vocabulary import RDF
+from repro.mining.ensemble import BaggingClassifier
+from repro.mining.tree import DecisionTreeClassifier
+from repro.mining.validation import cross_validate
+from repro.quality import measure_quality
+from repro.tabular.transforms import group_by
+
+#: Worker counts measured for every workload (1 is the sequential tier).
+N_JOBS_CURVE = (1, 2, 4)
+
+#: Full-size workloads.
+CV_ROWS, CV_FOLDS = 2_400, 8
+ENSEMBLE_ROWS, ENSEMBLE_MEMBERS = 2_400, 16
+QUALITY_ROWS = 12_000
+LINKER_ENTITIES = 90
+GROUP_BY_ROWS = 60_000
+
+#: Reduced-size rerun used by the CI perf guard (see ``--quick``).
+QUICK_CV_ROWS, QUICK_CV_FOLDS = 600, 4
+QUICK_ENSEMBLE_ROWS, QUICK_ENSEMBLE_MEMBERS = 600, 8
+QUICK_QUALITY_ROWS = 3_000
+QUICK_LINKER_ENTITIES = 40
+QUICK_GROUP_BY_ROWS = 15_000
+
+#: The quick case fails the guard when a 4-worker speedup drops below
+#: ``baseline_speedup / QUICK_REGRESSION_FACTOR`` — enforced only when the
+#: baseline itself cleared ``MIN_ENFORCEABLE_SPEEDUP`` (i.e. was recorded
+#: on a machine with real parallelism) and the CI runner has ≥2 cores.
+QUICK_REGRESSION_FACTOR = 2.0
+MIN_ENFORCEABLE_SPEEDUP = 1.2
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf_parallel.json"
+
+
+def _bits(value: float) -> str:
+    """The IEEE-754 bytes of a float, hex-encoded (NaN-safe bit comparison)."""
+    return struct.pack("<d", float(value)).hex()
+
+
+def _timed(fn):
+    """Run ``fn`` once; return ``(value, wall_seconds)``."""
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _linker_graphs(n_entities: int) -> tuple[Graph, Graph, IRI, IRI]:
+    """Two graphs of ``n_entities`` noisily-matching named entities each."""
+    entity = IRI("http://bench.example.org/Entity")
+    name = IRI("http://bench.example.org/name")
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+    left, right = Graph("bench-left"), Graph("bench-right")
+    for i in range(n_entities):
+        title = f"{words[i % len(words)]} {words[(i * 3 + 1) % len(words)]} {i // len(words)}"
+        subject = IRI(f"http://bench.example.org/l{i}")
+        left.add(subject, RDF.type, entity)
+        left.add(subject, name, Literal(title))
+        subject = IRI(f"http://bench.example.org/r{i}")
+        right.add(subject, RDF.type, entity)
+        # Perturb half the right-hand titles so matching is non-trivial.
+        right.add(subject, name, Literal(title.upper() if i % 2 else title + "x"))
+    return left, right, entity, name
+
+
+# ---------------------------------------------------------------------------
+# Workloads: each returns (signature, runner) where runner(n_jobs) -> signature
+# ---------------------------------------------------------------------------
+
+
+def _cv_case(n_rows: int, k: int):
+    """Cross-validation folds over a shared encoded dataset."""
+    dataset = make_classification_dataset(n_rows=n_rows, n_numeric=4, n_categorical=2, seed=0)
+
+    def run(n_jobs: int) -> str:
+        result = cross_validate(DecisionTreeClassifier, dataset, k=k, n_jobs=n_jobs)
+        return json.dumps(
+            {
+                "accuracy": _bits(result.accuracy),
+                "macro_f1": _bits(result.macro_f1),
+                "kappa": _bits(result.kappa),
+                "folds": [_bits(a) for a in result.fold_accuracies],
+            }
+        )
+
+    return f"{k}-fold CV, {n_rows} rows", run
+
+
+def _ensemble_case(n_rows: int, n_members: int):
+    """Independent ensemble member fits from pre-drawn sampling plans."""
+    dataset = make_classification_dataset(n_rows=n_rows, n_numeric=4, n_categorical=2, seed=1)
+
+    def run(n_jobs: int) -> str:
+        model = BaggingClassifier(
+            n_estimators=n_members, feature_fraction=0.7, seed=0, n_jobs=n_jobs
+        )
+        model.fit(dataset)
+        return json.dumps(
+            {
+                "predictions": model.predict(dataset),
+                "features": model.estimator_features_,
+            }
+        )
+
+    return f"bagging fit, {n_members} members, {n_rows} rows", run
+
+
+def _quality_case(n_rows: int):
+    """The default quality criteria over one shared encoding."""
+    dataset = service_requests(n_rows=n_rows, dirty=True)
+
+    def run(n_jobs: int) -> str:
+        profile = measure_quality(dataset, n_jobs=n_jobs)
+        return json.dumps({name: _bits(score) for name, score in profile.as_dict().items()})
+
+    return f"quality profile, {n_rows} rows", run
+
+
+def _linker_case(n_entities: int):
+    """Blocked entity linking, one candidate block per left subject."""
+    left, right, entity, name = _linker_graphs(n_entities)
+    rules = [LinkRule(name, name)]
+
+    def run(n_jobs: int) -> str:
+        links = EntityLinker(rules, threshold=0.75, n_jobs=n_jobs).link(left, entity, right, entity)
+        return json.dumps([[str(l.left), str(l.right), _bits(l.score)] for l in links])
+
+    return f"blocked linking, {n_entities}x{n_entities} entities", run
+
+
+def _group_by_case(n_rows: int):
+    """Per-group segment reductions over the encoded group-by path."""
+    dataset = service_requests(n_rows=n_rows, dirty=True)
+    aggregations = {
+        "total_days": ("resolution_days", "sum"),
+        "spread": ("resolution_days", "std"),
+        "middle": ("resolution_days", "median"),
+        "n": ("resolution_days", "count"),
+    }
+
+    def run(n_jobs: int) -> str:
+        grouped = group_by(dataset, ["district", "topic"], aggregations, n_jobs=n_jobs)
+        return json.dumps(
+            [
+                {k: _bits(v) if isinstance(v, float) else v for k, v in row.items()}
+                for row in grouped.iter_rows()
+            ]
+        )
+
+    return f"group_by reduction, {n_rows} rows", run
+
+
+def _measure_case(workload: str, run) -> dict:
+    """One workload's scaling curve with bit-exact parity at every point."""
+    sequential_signature, sequential_s = _timed(lambda: run(1))
+    times = {"1": sequential_s}
+    speedups = {}
+    parity = True
+    for n_jobs in N_JOBS_CURVE[1:]:
+        signature, elapsed = _timed(lambda: run(n_jobs))
+        parity = parity and (signature == sequential_signature)
+        times[str(n_jobs)] = elapsed
+        speedups[str(n_jobs)] = sequential_s / elapsed if elapsed > 0 else float("inf")
+    return {
+        "workload": workload,
+        "seconds": times,
+        "speedup": speedups,
+        "parity": parity,
+    }
+
+
+def _case_set(sizes: dict) -> dict:
+    """Measure every call-site workload at the given sizes."""
+    return {
+        "cv_folds": _measure_case(*_cv_case(sizes["cv_rows"], sizes["cv_folds"])),
+        "ensemble_fit": _measure_case(
+            *_ensemble_case(sizes["ensemble_rows"], sizes["ensemble_members"])
+        ),
+        "quality_profile": _measure_case(*_quality_case(sizes["quality_rows"])),
+        "linker_blocks": _measure_case(*_linker_case(sizes["linker_entities"])),
+        "group_by": _measure_case(*_group_by_case(sizes["group_by_rows"])),
+    }
+
+
+FULL_SIZES = {
+    "cv_rows": CV_ROWS,
+    "cv_folds": CV_FOLDS,
+    "ensemble_rows": ENSEMBLE_ROWS,
+    "ensemble_members": ENSEMBLE_MEMBERS,
+    "quality_rows": QUALITY_ROWS,
+    "linker_entities": LINKER_ENTITIES,
+    "group_by_rows": GROUP_BY_ROWS,
+}
+
+QUICK_SIZES = {
+    "cv_rows": QUICK_CV_ROWS,
+    "cv_folds": QUICK_CV_FOLDS,
+    "ensemble_rows": QUICK_ENSEMBLE_ROWS,
+    "ensemble_members": QUICK_ENSEMBLE_MEMBERS,
+    "quality_rows": QUICK_QUALITY_ROWS,
+    "linker_entities": QUICK_LINKER_ENTITIES,
+    "group_by_rows": QUICK_GROUP_BY_ROWS,
+}
+
+
+def run_benchmark() -> dict:
+    """Full benchmark: scaling curves + parity at full and quick sizes."""
+    return {
+        "n_cores": os.cpu_count(),
+        "n_jobs_curve": list(N_JOBS_CURVE),
+        "cases": _case_set(FULL_SIZES),
+        "quick": {"sizes": QUICK_SIZES, "cases": _case_set(QUICK_SIZES)},
+    }
+
+
+def write_results(results: dict) -> Path:
+    """Write the benchmark JSON next to the other ``BENCH_*.json`` baselines."""
+    _RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return _RESULT_PATH
+
+
+def _print_results(results: dict) -> None:
+    """Render the benchmark as the shared fixed-width table."""
+    try:
+        from benchmarks.conftest import print_table
+    except ModuleNotFoundError:  # running as a plain script
+
+        def print_table(title, header, rows):
+            print(f"\n=== {title} ===")
+            print("  ".join(header))
+            for row in rows:
+                print("  ".join(f"{c:.3f}" if isinstance(c, float) else str(c) for c in row))
+
+    rows = []
+    for case in results["cases"].values():
+        rows.append(
+            [
+                case["workload"],
+                case["seconds"]["1"],
+                case["speedup"].get("2", float("nan")),
+                case["speedup"].get("4", float("nan")),
+                "yes" if case["parity"] else "NO",
+            ]
+        )
+    print_table(
+        f"BENCH-PERF-PARALLEL: scaling over shared views ({results['n_cores']} cores)",
+        ["workload", "seq_s", "x2", "x4", "identical"],
+        rows,
+    )
+
+
+def run_quick_guard(baseline_path: Path = _RESULT_PATH) -> int:
+    """Rerun the quick case and compare against the recorded baseline.
+
+    Returns a process exit code: 0 when every parallel result is still
+    bit-identical to the sequential tier and (where physically meaningful,
+    see the module docstring) the 4-worker speedups stay above half their
+    recorded baselines; 1 otherwise.
+    """
+    if not baseline_path.exists():
+        print(f"perf guard: no baseline at {baseline_path}; run the full benchmark first")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    quick = baseline.get("quick", {})
+    if quick.get("sizes") != QUICK_SIZES:
+        print("perf guard: baseline quick sizes are stale; rerun the full benchmark")
+        return 1
+    try:
+        current = _case_set(QUICK_SIZES)
+    except Exception as exc:  # noqa: BLE001 - the guard reports, CI fails
+        print(f"perf guard: parallel dispatch raised: {exc!r}")
+        return 1
+
+    cores = os.cpu_count() or 1
+    failures = []
+    for key, now in current.items():
+        base = quick["cases"].get(key)
+        if base is None:
+            print(f"perf guard: baseline is missing case {key!r}; rerun the full benchmark")
+            return 1
+        if not now["parity"]:
+            failures.append(f"{key} parallel run DIVERGED from the sequential tier")
+            continue
+        base_speedup = base["speedup"].get("4", 0.0)
+        if base_speedup < MIN_ENFORCEABLE_SPEEDUP or cores < 2:
+            print(
+                f"perf guard: {key} parity ok; speedup not enforced "
+                f"(baseline {base_speedup:.2f}x on {baseline.get('n_cores')} core(s), "
+                f"runner has {cores})"
+            )
+            continue
+        floor = base_speedup / QUICK_REGRESSION_FACTOR
+        now_speedup = now["speedup"].get("4", 0.0)
+        if now_speedup < floor:
+            failures.append(
+                f"{key} 4-worker speedup {now_speedup:.2f}x fell below floor {floor:.2f}x "
+                f"(baseline {base_speedup:.2f}x)"
+            )
+        else:
+            print(
+                f"perf guard: {key} 4-worker speedup {now_speedup:.2f}x "
+                f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x) ok"
+            )
+    if failures:
+        for failure in failures:
+            print(f"perf guard: {failure}")
+        print("perf guard: FAILED for parallel")
+        return 1
+    print("perf guard: parallel tier within budget")
+    return 0
+
+
+def test_perf_parallel():
+    """Full benchmark as a pytest: asserts parity at every curve point."""
+    results = run_benchmark()
+    path = write_results(results)
+    _print_results(results)
+    for key, case in results["cases"].items():
+        assert case["parity"], f"{key} parallel run diverged from the sequential tier"
+        assert results["quick"]["cases"][key]["parity"], f"{key} quick case diverged"
+    print(f"\nresults written to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: full benchmark by default, ``--quick`` for the CI guard."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="rerun the reduced-size perf-guard case against the recorded baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        return run_quick_guard()
+    test_perf_parallel()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -261,8 +261,11 @@ def _cmd_store_open(args: argparse.Namespace) -> int:
     from repro.store import StoreFile, open_dataset, open_graph
     from repro.store.format import KIND_DATASET
 
-    store_file = StoreFile(args.store)
-    if store_file.kind == KIND_DATASET:
+    # Probe the payload kind only; the probe's map is released immediately
+    # and the real open below creates its own.
+    with StoreFile(args.store) as probe:
+        kind = probe.kind
+    if kind == KIND_DATASET:
         dataset = open_dataset(args.store, force_memory=args.force_memory, verify=args.verify)
         print(f"dataset {dataset.name!r}: {dataset.n_rows} rows x {dataset.n_columns} columns")
         for name, info in dataset.summary().items():
@@ -273,6 +276,7 @@ def _cmd_store_open(args: argparse.Namespace) -> int:
 
             print()
             print(dataset_to_table_text(dataset.head(args.head)))
+        dataset.close()
     else:
         graph = open_graph(args.store, force_memory=args.force_memory, verify=args.verify)
         columnar = graph.store.columnar()
@@ -281,6 +285,7 @@ def _cmd_store_open(args: argparse.Namespace) -> int:
             if i >= args.head:
                 break
             print(f"  {triple.n3()}")
+        graph.close()
     return 0
 
 

@@ -204,3 +204,17 @@ class Graph:
         from repro.store import open_graph
 
         return open_graph(path, force_memory=force_memory, verify=verify)
+
+    def close(self) -> None:
+        """Release the memory-mapped store file backing this graph, if any.
+
+        Graphs returned by :meth:`open` keep the store's memory map (and
+        its file descriptor) alive; ``close()`` releases both so the
+        ``.rps`` file can be replaced and the descriptor returned to the
+        OS.  Afterwards the graph — and every zero-copy view sliced from
+        its columnar snapshot — must no longer be used.  For in-memory
+        graphs this is a no-op.
+        """
+        store_file = self.__dict__.pop("_store_file", None)
+        if store_file is not None:
+            store_file.close()

@@ -26,8 +26,29 @@ import numpy as np
 from repro.exceptions import MiningError
 from repro.mining.base import Classifier, check_fitted
 from repro.mining.tree import DecisionTreeClassifier
+from repro.parallel import ViewHandle, effective_n_jobs, parallel_map
 from repro.tabular.dataset import Column, ColumnRole, Dataset, is_missing_value
 from repro.tabular.encoded import EncodedDataset, encode_dataset
+
+
+def _fit_member(context: dict[str, Any], member_index: int) -> Classifier:
+    """Fit one committee member from its pre-drawn sampling plan.
+
+    The unit shared by the sequential and parallel fit tiers: every random
+    decision (bootstrap indices, subspace columns) was drawn up front in
+    :meth:`BaggingClassifier._fit`, so fitting member ``i`` is a pure
+    function of the plan — independent of every other member, hence safe
+    to run in any order on any worker.
+    """
+    dataset = context["view"].resolve()
+    indices, chosen = context["plans"][member_index]
+    subset = dataset.take(indices)
+    if chosen is not None:
+        kept = [c.name for c in subset.columns if c.role != ColumnRole.FEATURE or c.name in chosen]
+        subset = subset.select_columns(kept)
+    member = context["factory"]()
+    member.fit(subset)
+    return member
 
 
 class BaggingClassifier(Classifier):
@@ -46,6 +67,12 @@ class BaggingClassifier(Classifier):
         1.0 disables subspacing.
     seed:
         Seed controlling both the bootstraps and the subspaces.
+    n_jobs:
+        Worker count for fitting members in parallel (``None`` reads the
+        ``REPRO_N_JOBS`` environment variable; 1 is the sequential tier).
+        The fitted committee is identical at any worker count: every
+        random draw happens up front, in the parent, in the historical
+        sequential order.
     """
 
     name = "bagged_trees"
@@ -57,6 +84,7 @@ class BaggingClassifier(Classifier):
         sample_fraction: float = 1.0,
         feature_fraction: float = 1.0,
         seed: int = 0,
+        n_jobs: int | None = None,
     ) -> None:
         super().__init__()
         if n_estimators < 1:
@@ -70,34 +98,54 @@ class BaggingClassifier(Classifier):
         self.sample_fraction = sample_fraction
         self.feature_fraction = feature_fraction
         self.seed = seed
+        self.n_jobs = n_jobs
         self.estimators_: list[Classifier] = []
         self.estimator_features_: list[list[str]] = []
 
-    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
+    def _draw_plans(
+        self, labelled: list[int], feature_names: list[str]
+    ) -> list[tuple[list[int], list[str] | None]]:
+        """Pre-draw every member's ``(bootstrap_indices, subspace_or_None)`` plan.
+
+        All draws happen here, on one RNG, in the exact order the old
+        sequential fit loop made them (member ``i``'s bootstrap, then its
+        subspace).  This is what makes member fits independent: the loop
+        used to interleave drawing with fitting, so member ``i``'s sample
+        depended on the RNG state left behind by members ``0..i-1`` —
+        correct sequentially, but unreproducible the moment fits run out
+        of order.  Drawing up front keeps the historical streams (seeded
+        models are bit-identical to every release since the ensemble
+        landed) while making each plan a self-contained work unit.
+        """
         rng = random.Random(self.seed)
+        n_subspace = max(1, int(round(self.feature_fraction * len(feature_names))))
+        n_sample = max(2, int(round(self.sample_fraction * len(labelled))))
+        plans: list[tuple[list[int], list[str] | None]] = []
+        for _ in range(self.n_estimators):
+            indices = [labelled[rng.randrange(len(labelled))] for _ in range(n_sample)]
+            chosen = rng.sample(feature_names, n_subspace) if n_subspace < len(feature_names) else None
+            plans.append((indices, chosen))
+        return plans
+
+    def _fit(self, dataset: Dataset, features: list[Column], target: Column) -> None:
         labelled = [i for i, value in enumerate(target.tolist()) if not is_missing_value(value)]
         if not labelled:
             raise MiningError("no labelled rows to train on")
         feature_names = [column.name for column in features]
-        n_subspace = max(1, int(round(self.feature_fraction * len(feature_names))))
-        n_sample = max(2, int(round(self.sample_fraction * len(labelled))))
-
-        self.estimators_ = []
-        self.estimator_features_ = []
-        for _ in range(self.n_estimators):
-            indices = [labelled[rng.randrange(len(labelled))] for _ in range(n_sample)]
-            subset = dataset.take(indices)
-            if n_subspace < len(feature_names):
-                chosen = rng.sample(feature_names, n_subspace)
-                kept = [c.name for c in subset.columns if c.role != ColumnRole.FEATURE or c.name in chosen]
-                subset = subset.select_columns(kept)
-                member_features = chosen
-            else:
-                member_features = list(feature_names)
-            member = self.base_factory()
-            member.fit(subset)
-            self.estimators_.append(member)
-            self.estimator_features_.append(member_features)
+        plans = self._draw_plans(labelled, feature_names)
+        context = {"view": ViewHandle(dataset), "factory": self.base_factory, "plans": plans}
+        n_workers = effective_n_jobs(self.n_jobs)
+        members = None
+        if n_workers > 1 and len(plans) > 1:
+            members = parallel_map(
+                _fit_member, len(plans), context=context, n_jobs=n_workers, error_cls=MiningError
+            )
+        if members is None:
+            members = [_fit_member(context, i) for i in range(len(plans))]
+        self.estimators_ = members
+        self.estimator_features_ = [
+            chosen if chosen is not None else list(feature_names) for _, chosen in plans
+        ]
 
     def _member_votes(self, dataset: Dataset) -> list[list[str]]:
         """Return per-row lists of member predictions (reference vote path)."""
@@ -216,11 +264,18 @@ class RandomSubspaceForest(BaggingClassifier):
 
     name = "random_subspace_forest"
 
-    def __init__(self, n_estimators: int = 15, feature_fraction: float = 0.6, seed: int = 0) -> None:
+    def __init__(
+        self,
+        n_estimators: int = 15,
+        feature_fraction: float = 0.6,
+        seed: int = 0,
+        n_jobs: int | None = None,
+    ) -> None:
         super().__init__(
             base_factory=lambda: DecisionTreeClassifier(max_depth=8, min_samples_split=4),
             n_estimators=n_estimators,
             sample_fraction=1.0,
             feature_fraction=feature_fraction,
             seed=seed,
+            n_jobs=n_jobs,
         )

@@ -1,0 +1,42 @@
+"""Parallel execution tier over the shared encoded views.
+
+The library's natural fan-out axes — cross-validation folds, ensemble
+member fits, quality criteria, entity-linker candidate blocks and group-by
+segment reductions — are embarrassingly parallel over *read-only* encoded
+views (:mod:`repro.tabular.encoded`), and the ``.rps`` persistence tier
+(:mod:`repro.store`) makes sharing those views across processes free.
+This package adds the worker-pool layer that exploits that, under the same
+two-tier contract as every other optimisation in the library
+(``docs/encoded-core.md`` §6):
+
+* parallel results are **bit-identical** to the sequential tier at every
+  ``n_jobs`` — each unit reduces exactly as the sequential code does and
+  results merge only at unit boundaries, in deterministic unit order;
+* ``n_jobs=1`` (the default), ``REPRO_N_JOBS`` in the environment, and the
+  :func:`force_sequential` hatch all route back to the existing
+  sequential code paths;
+* a worker crash surfaces the owning subsystem's structured error
+  (``MiningError``, ``DataQualityError``, …) instead of a hang.
+
+Call sites pass ``n_jobs`` straight through to :func:`effective_n_jobs`
+and, when more than one worker is warranted, dispatch unit indices through
+:func:`parallel_map`; datasets and graphs reach the workers through
+:class:`ViewHandle` — by fork inheritance where available, by reopening a
+``.rps`` snapshot everywhere else — never by pickling the views.
+"""
+
+from repro.parallel.pool import (
+    N_JOBS_ENV,
+    ViewHandle,
+    effective_n_jobs,
+    force_sequential,
+    parallel_map,
+)
+
+__all__ = [
+    "N_JOBS_ENV",
+    "ViewHandle",
+    "effective_n_jobs",
+    "force_sequential",
+    "parallel_map",
+]

@@ -1,0 +1,308 @@
+"""Worker-pool dispatch over shared encoded views.
+
+This module is the machinery behind every ``n_jobs`` parameter in the
+library (CV folds, ensemble member fits, quality criteria, linker blocks,
+group-by segments).  It deliberately exposes exactly one dispatch entry
+point, :func:`parallel_map`, and one sharing abstraction,
+:class:`ViewHandle`, so the rule for *how data reaches a worker* lives in
+one place:
+
+* **task payloads are bare unit indices** — the work descriptors (fold
+  index arrays, sampling plans, candidate-block keys) live in a *context*
+  object that never travels through the task queue;
+* the context reaches workers either by **fork inheritance** (the default
+  wherever ``fork`` is available: the encoded views are shared
+  copy-on-write, nothing is pickled) or by a **store snapshot** (datasets
+  and graphs wrapped in :class:`ViewHandle` are saved once to a ``.rps``
+  file — or reuse the file they are already memory-mapped from — and each
+  worker reopens the O(metadata) memory map; see
+  :func:`repro.store.open_dataset`);
+* results come back pickled, which is safe because every call site merges
+  small plain values (label lists, fitted members, criterion measures,
+  float reductions) in deterministic unit order.
+
+:class:`~repro.tabular.encoded.EncodedDataset` refuses to be pickled at
+all (see its ``__reduce__``), so a call site that accidentally routed a
+view through the task queue fails loudly instead of silently copying a
+multi-gigabyte memory map into every worker.
+
+A worker that *raises* propagates its exception to the caller; a worker
+that *dies* (killed, segfault) surfaces as the call site's structured
+error class (``MiningError``, ``DataQualityError``, …) instead of a hang —
+:class:`concurrent.futures.process.BrokenProcessPool` is translated, the
+pool is torn down, and temporary snapshot files are removed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ParallelError, ReproError
+
+#: Environment variable read when a call site's ``n_jobs`` is ``None``.
+N_JOBS_ENV = "REPRO_N_JOBS"
+
+#: Library-wide escape hatch: when ``True`` every ``n_jobs`` resolves to 1
+#: and all call sites take their existing sequential tier.  Set it through
+#: :func:`repro.parallel.force_sequential` (or directly, in tests).
+_FORCE_SEQUENTIAL = False
+
+#: Test/diagnostic override for the sharing mode chosen by
+#: :func:`_dispatch_mode`: ``None`` (auto), ``"fork"`` or ``"snapshot"``.
+_FORCE_MODE: str | None = None
+
+#: Set inside worker processes so nested parallel calls (an ensemble fit
+#: inside a parallel CV fold) resolve to the sequential tier instead of
+#: forking grandchildren.
+_IN_WORKER = False
+
+#: ``(worker, context)`` for the units in flight, reachable by forked
+#: workers through inheritance (set just before the pool is created).
+_CONTEXT: tuple[Callable[..., Any], Any] | None = None
+
+#: Per-process memo of reopened snapshot payloads: ``{(kind, path): payload}``.
+#: Workers are short-lived (one pool per dispatch), so entries never go stale.
+_OPEN_MEMO: dict[tuple[str, str], Any] = {}
+
+
+def effective_n_jobs(n_jobs: int | None = None) -> int:
+    """Resolve a call site's ``n_jobs`` to a concrete worker count.
+
+    ``None`` reads the :data:`N_JOBS_ENV` environment variable (defaulting
+    to 1, the sequential tier); ``0`` or a negative value means "all
+    cores".  Inside a worker process, and while the
+    :data:`_FORCE_SEQUENTIAL` hatch is set, the answer is always 1.
+    """
+    if _FORCE_SEQUENTIAL or _IN_WORKER:
+        return 1
+    if n_jobs is None:
+        raw = os.environ.get(N_JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ParallelError(
+                f"{N_JOBS_ENV}={raw!r} is not an integer worker count"
+            ) from None
+    n_jobs = int(n_jobs)
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return max(1, n_jobs)
+
+
+def force_sequential(enabled: bool = True) -> None:
+    """Set (or clear) the library-wide sequential escape hatch."""
+    global _FORCE_SEQUENTIAL
+    _FORCE_SEQUENTIAL = bool(enabled)
+
+
+class ViewHandle:
+    """Reaches a :class:`Dataset` or :class:`Graph` into workers without pickling it.
+
+    In fork mode the handle is never serialized: :meth:`resolve` simply
+    returns the wrapped payload, whose encoded views the forked child
+    shares copy-on-write.  In snapshot mode the *handle* is what crosses
+    the process boundary: it pickles as a store path (either the ``.rps``
+    file the payload is already memory-mapped from, or a temporary
+    snapshot written by :meth:`ensure_stored`) plus a payload kind, and
+    unpickles worker-side by reopening the store — memoized per process —
+    so the payload's arrays are shared through the page cache instead of
+    being copied through a pipe.
+    """
+
+    def __init__(self, payload: Any) -> None:
+        """Wrap ``payload`` (a dataset or graph) for worker access."""
+        self.payload = payload
+        self._path: str | None = None
+
+    def resolve(self) -> Any:
+        """The wrapped (or worker-side reopened) payload."""
+        return self.payload
+
+    def ensure_stored(self, tmpdir: str) -> None:
+        """Make the payload reachable by path before a snapshot dispatch.
+
+        Reuses the open store file of an already memory-mapped payload;
+        otherwise saves a snapshot into ``tmpdir`` (removed by the
+        dispatcher after the run).
+        """
+        if self._path is not None:
+            return
+        store_file = getattr(self.payload, "_store_file", None)
+        if store_file is not None and getattr(store_file, "_mm", None) is not None:
+            self._path = str(store_file.path)
+            return
+        path = Path(tmpdir) / f"snapshot-{id(self):x}.rps"
+        self.payload.save(path)
+        self._path = str(path)
+
+    def _kind(self) -> str:
+        """``"graph"`` or ``"dataset"`` — which ``open`` reverses the snapshot."""
+        from repro.lod.graph import Graph
+
+        return "graph" if isinstance(self.payload, Graph) else "dataset"
+
+    def __getstate__(self) -> dict[str, str]:
+        """Serialize as ``(kind, path)`` — never the payload itself."""
+        if self._path is None:
+            raise ParallelError(
+                "ViewHandle crossed a process boundary before ensure_stored(); "
+                "this is a repro.parallel dispatch bug"
+            )
+        return {"kind": self._kind(), "path": self._path}
+
+    def __setstate__(self, state: dict[str, str]) -> None:
+        """Worker side: reopen the store (memoized per process)."""
+        self._path = state["path"]
+        key = (state["kind"], state["path"])
+        payload = _OPEN_MEMO.get(key)
+        if payload is None:
+            if state["kind"] == "graph":
+                from repro.lod.graph import Graph
+
+                payload = Graph.open(state["path"])
+            else:
+                from repro.tabular.dataset import Dataset
+
+                payload = Dataset.open(state["path"])
+            _OPEN_MEMO[key] = payload
+        self.payload = payload
+
+
+def _iter_handles(context: Any) -> Iterable[ViewHandle]:
+    """Every :class:`ViewHandle` reachable one level deep inside ``context``."""
+    values = context.values() if isinstance(context, dict) else [context]
+    for value in values:
+        if isinstance(value, ViewHandle):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, ViewHandle):
+                    yield item
+
+
+def _dispatch_mode() -> str:
+    """``"fork"`` where available (views shared by inheritance), else ``"snapshot"``."""
+    if _FORCE_MODE is not None:
+        return _FORCE_MODE
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "snapshot"
+
+
+def _init_worker(payload: bytes | None) -> None:
+    """Worker initializer: mark the process and install the snapshot context."""
+    global _IN_WORKER, _CONTEXT
+    _IN_WORKER = True
+    if payload is not None:
+        _CONTEXT = pickle.loads(payload)
+
+
+class _UnpicklableResult:
+    """Worker-side sentinel: the unit ran but its result cannot travel back.
+
+    Returned instead of letting the executor's result pipe blow up with an
+    opaque ``PicklingError``; the dispatcher sees it and tells the call
+    site to rerun its sequential tier (where results never need to move).
+    """
+
+    def __init__(self, reason: str) -> None:
+        """Record why the result could not be pickled."""
+        self.reason = reason
+
+
+def _run_unit(index: int):
+    """Execute one unit in a worker: look up the shared context, run it."""
+    global _IN_WORKER
+    _IN_WORKER = True  # fork-mode workers skip _init_worker's payload branch
+    worker, context = _CONTEXT
+    result = worker(context, index)
+    try:
+        pickle.dumps(result)
+    except Exception as exc:  # unpicklable result (e.g. a monkeypatched model)
+        return _UnpicklableResult(f"{type(exc).__name__}: {exc}")
+    return result
+
+
+def parallel_map(
+    worker: Callable[[Any, int], Any],
+    n_units: int,
+    *,
+    context: Any,
+    n_jobs: int,
+    error_cls: type[ReproError] = ParallelError,
+) -> list[Any] | None:
+    """Run ``worker(context, index)`` for every unit index over a worker pool.
+
+    Results come back **in unit order** regardless of which worker finished
+    first, so call sites can merge them exactly as their sequential loop
+    would.  ``worker`` must be a module-level function (it is located by
+    qualified name in snapshot mode) and must not mutate shared state —
+    each call returns its unit's result.
+
+    Returns ``None`` when the dispatch cannot run or cannot return its
+    results — snapshot mode finding an unpicklable context (e.g. a lambda
+    classifier factory on a platform without ``fork``), or a unit
+    producing an unpicklable result — in which case the call site falls
+    back to its sequential tier.  A worker that raises a
+    :class:`~repro.exceptions.ReproError` propagates it unchanged; any
+    other worker exception, and a worker process dying outright, raise
+    ``error_cls`` naming the failure.
+    """
+    global _CONTEXT
+    mode = _dispatch_mode()
+    n_workers = max(1, min(int(n_jobs), n_units))
+    start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    mp_context = multiprocessing.get_context(start_method)
+    tempdir: str | None = None
+    initializer_payload: bytes | None = None
+    try:
+        if mode == "snapshot":
+            tempdir = tempfile.mkdtemp(prefix="repro-parallel-")
+            for handle in _iter_handles(context):
+                handle.ensure_stored(tempdir)
+            try:
+                initializer_payload = pickle.dumps((worker, context))
+            except Exception:
+                # Unpicklable context (lambdas, open resources): the caller
+                # runs its sequential tier instead.
+                return None
+        else:
+            _CONTEXT = (worker, context)
+        chunksize = max(1, n_units // (n_workers * 4))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(initializer_payload,),
+            ) as executor:
+                results = list(executor.map(_run_unit, range(n_units), chunksize=chunksize))
+            if any(isinstance(result, _UnpicklableResult) for result in results):
+                # Some unit's result cannot cross the process boundary (e.g.
+                # a fitted model holding a lambda): the caller's sequential
+                # tier handles it without moving results at all.
+                return None
+            return results
+        except BrokenProcessPool as exc:
+            raise error_cls(
+                f"a parallel worker process died mid-run "
+                f"({n_units} units over {n_workers} workers); "
+                "rerun with n_jobs=1 (or REPRO_N_JOBS=1) to use the sequential tier"
+            ) from exc
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise error_cls(f"parallel worker failed: {exc}") from exc
+    finally:
+        _CONTEXT = None
+        if tempdir is not None:
+            shutil.rmtree(tempdir, ignore_errors=True)

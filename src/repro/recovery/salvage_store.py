@@ -106,14 +106,16 @@ def salvage_store(path: Path | str) -> StoreSalvageResult:
     damaged graph term table or SPO ordering, or a dataset whose every
     column lost a primary section.
     """
-    store_file = StoreFile(path, tolerant=True)
-    damage = store_file.verify()
-    report = StoreSalvageReport(path, KIND_NAMES[store_file.kind])
-    report.damaged_sections = dict(damage)
-    if store_file.kind == KIND_DATASET:
-        payload = _salvage_dataset(store_file, damage, report)
-    else:
-        payload = _salvage_graph(store_file, damage, report)
+    # The payload is rebuilt fully in memory, so the store file (and its
+    # file descriptor) is released as soon as salvage finishes.
+    with StoreFile(path, tolerant=True) as store_file:
+        damage = store_file.verify()
+        report = StoreSalvageReport(path, KIND_NAMES[store_file.kind])
+        report.damaged_sections = dict(damage)
+        if store_file.kind == KIND_DATASET:
+            payload = _salvage_dataset(store_file, damage, report)
+        else:
+            payload = _salvage_graph(store_file, damage, report)
     return StoreSalvageResult(payload, report)
 
 

@@ -223,6 +223,15 @@ class StoreFile:
     level is *collected* (in :attr:`damage`) instead of raised, which is how
     the salvage tier (:func:`repro.recovery.salvage_store`) enumerates what
     survives in a partially corrupt file.
+
+    The memory map holds one file descriptor for as long as the instance
+    lives; :meth:`close` (or using the instance as a context manager)
+    releases both the map and the descriptor.  Closing invalidates every
+    zero-copy view previously handed out by :meth:`array` — like reading
+    from a closed file, touching such a view afterwards is undefined — so
+    close only once the views are done with.  Consumers that keep a store
+    open behind a payload (``Dataset.open`` / ``Graph.open``) expose the
+    release as ``Dataset.close()`` / ``Graph.close()``.
     """
 
     def __init__(self, path: Path | str, tolerant: bool = False) -> None:
@@ -281,6 +290,54 @@ class StoreFile:
                     raise StoreCorruptionError(self.path, name, problem, salvageable=True)
                 self.damage[name] = problem
 
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the memory map."""
+        return self._mm is None
+
+    def close(self) -> None:
+        """Release the memory map and its file descriptor (idempotent).
+
+        The descriptor opened by ``np.memmap`` lives inside the underlying
+        :class:`mmap.mmap` object and is only returned to the OS when that
+        map is closed — without an explicit release it survives for the
+        whole lifetime of the ``StoreFile`` (and of any ``Dataset``/
+        ``Graph`` holding it), so a long-lived process that opens many
+        stores, or a worker pool forking per dispatch, accumulates
+        descriptors it can never drop.  After ``close()`` the header and
+        directory metadata stay readable, but payload accessors
+        (:meth:`array`, :meth:`strings`, :meth:`json`, :meth:`verify`)
+        raise :class:`~repro.exceptions.StoreError`, and any zero-copy view
+        created earlier is invalid.
+        """
+        mm = self._mm
+        if mm is None:
+            return
+        self._mm = None
+        inner = getattr(mm, "_mmap", None)
+        del mm
+        if inner is not None:
+            try:
+                inner.close()
+            except BufferError:  # pragma: no cover - exported buffers pin the map
+                pass
+
+    def __enter__(self) -> "StoreFile":
+        """Context-manager entry: the opened store itself."""
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        """Context-manager exit: release the map and descriptor."""
+        self.close()
+
+    def _map(self) -> np.memmap:
+        """The live memory map, or a structured error after :meth:`close`."""
+        if self._mm is None:
+            raise StoreError(f"store {self.path} is closed")
+        return self._mm
+
     @staticmethod
     def _bounds_problem(section: Section, size: int) -> str | None:
         """Return a description of a bounds/shape problem, or ``None`` if sane."""
@@ -299,7 +356,7 @@ class StoreFile:
         section = self.section(name)
         if name in self.damage:
             raise StoreCorruptionError(self.path, name, self.damage[name], salvageable=True)
-        view = self._mm[section.offset : section.offset + section.length]
+        view = self._map()[section.offset : section.offset + section.length]
         if check_crc and zlib.crc32(view) != section.crc:
             reason = "payload checksum mismatch"
             if self.tolerant:
@@ -360,7 +417,7 @@ class StoreFile:
         for name, section in self.sections.items():
             if name in failures:
                 continue
-            view = self._mm[section.offset : section.offset + section.length]
+            view = self._map()[section.offset : section.offset + section.length]
             if zlib.crc32(view) != section.crc:
                 reason = "payload checksum mismatch"
                 if not self.tolerant:

@@ -194,6 +194,7 @@ def _open_store(path: Path | str, expected_kind: int) -> StoreFile:
     """Open ``path`` and check its payload kind."""
     store_file = StoreFile(path)
     if store_file.kind != expected_kind:
+        store_file.close()
         raise StoreError(
             f"store {path} holds a {KIND_NAMES[store_file.kind]} payload, "
             f"not a {KIND_NAMES[expected_kind]}"
@@ -363,11 +364,14 @@ def inspect_store(path: Path | str, verify: bool = False) -> dict:
     every payload is CRC-checked and per-section ``"status"`` fields report
     ``"ok"`` or the failure reason; structural damage below the
     header/directory level is reported the same way instead of raising.
+
+    Inspection is self-contained: the store file is closed (its descriptor
+    released) before the summary is returned.
     """
-    store_file = StoreFile(path, tolerant=True)
-    damage = dict(store_file.damage)
-    if verify:
-        damage = store_file.verify()
+    with StoreFile(path, tolerant=True) as store_file:
+        damage = dict(store_file.damage)
+        if verify:
+            damage = store_file.verify()
     sections = []
     for name, section in store_file.sections.items():
         sections.append(

@@ -705,6 +705,36 @@ class Dataset:
 
         return open_dataset(path, force_memory=force_memory, verify=verify)
 
+    def close(self) -> None:
+        """Release the memory-mapped store file backing this dataset, if any.
+
+        Datasets returned by :meth:`open` hold the store's memory map (and
+        its file descriptor) alive for their whole lifetime; ``close()``
+        releases both so the ``.rps`` file can be replaced and the
+        descriptor returned to the OS.  Afterwards the dataset — and every
+        zero-copy view sliced from it — must no longer be used.  For
+        in-memory datasets this is a no-op.
+        """
+        store_file = self.__dict__.pop("_store_file", None)
+        if store_file is not None:
+            store_file.close()
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle without the encoded-view cache or the store-file handle.
+
+        The cached :class:`~repro.tabular.encoded.EncodedDataset` refuses
+        pickling outright (its views must never cross a process boundary),
+        and a :class:`~repro.store.format.StoreFile` would drag a whole
+        memory map through the pipe; both rebuild lazily on the other
+        side, so they are dropped here.  The attribute names are owned by
+        ``repro.tabular.encoded`` / ``repro.store.reader`` — this module
+        cannot import them without a cycle.
+        """
+        state = dict(self.__dict__)
+        state.pop("_encoded_cache", None)
+        state.pop("_store_file", None)
+        return state
+
     # -- misc -----------------------------------------------------------------------
 
     def summary(self) -> dict[str, dict[str, Any]]:

@@ -84,6 +84,21 @@ class EncodedDataset:
         self._parent = _parent
         self._parent_indices = _parent_indices
 
+    def __reduce__(self):
+        """Refuse pickling: encoded views must never cross a process boundary.
+
+        A pickled view would drag its (possibly memory-mapped) arrays
+        through the pipe, defeating the zero-copy design.  The parallel
+        tier shares views by fork inheritance or by reopening the backing
+        ``.rps`` store worker-side (see ``repro.parallel``); anything else
+        is a bug worth failing loudly on.
+        """
+        raise TypeError(
+            "EncodedDataset cannot be pickled: share encoded views across processes "
+            "via repro.parallel (fork inheritance or a store-file snapshot), not by "
+            "serialising the view itself"
+        )
+
     @property
     def n_rows(self) -> int:
         return self.dataset.n_rows

@@ -1,0 +1,366 @@
+"""Contract tests for the parallel execution tier (``repro.parallel``).
+
+The contract under test (docs/encoded-core.md §6): every ``n_jobs`` call
+site produces **bit-identical** results at any worker count — float
+summation order included — because both tiers run the same per-unit
+function and merge in deterministic unit order; views reach workers
+without being pickled; a worker that raises or dies surfaces the call
+site's structured error instead of a hang; and the escape hatches
+(``n_jobs=1``, ``REPRO_N_JOBS``, ``force_sequential``) route to the
+sequential tier.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import struct
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification_dataset, service_requests
+from repro.exceptions import DataQualityError, MiningError, ParallelError
+from repro.lod.graph import Graph
+from repro.lod.linker import EntityLinker, LinkRule
+from repro.lod.terms import IRI, Literal
+from repro.lod.vocabulary import RDF
+from repro.mining.ensemble import BaggingClassifier, RandomSubspaceForest
+from repro.mining.tree import DecisionTreeClassifier
+from repro.mining.validation import cross_validate
+from repro.parallel import (
+    N_JOBS_ENV,
+    ViewHandle,
+    effective_n_jobs,
+    force_sequential,
+    parallel_map,
+)
+from repro.parallel import pool as pool_module
+from repro.quality import measure_quality
+from repro.tabular.dataset import Dataset
+from repro.tabular.encoded import encode_dataset
+from repro.tabular.transforms import group_by
+
+
+def _bits(value: float) -> bytes:
+    """The raw IEEE-754 bits of a float (NaN-safe bit-exact comparison)."""
+    return struct.pack("<d", float(value))
+
+
+def _row_bits(rows):
+    """Group-by result rows with every float replaced by its bit pattern."""
+    return [
+        {k: _bits(v) if isinstance(v, float) else v for k, v in row.items()}
+        for row in rows
+    ]
+
+
+@pytest.fixture
+def dataset() -> Dataset:
+    return make_classification_dataset(n_rows=150, n_numeric=3, n_categorical=1, seed=11)
+
+
+@pytest.fixture
+def dirty_dataset() -> Dataset:
+    return service_requests(n_rows=120, dirty=True)
+
+
+@pytest.fixture
+def graph_pair() -> tuple[Graph, Graph, IRI, IRI]:
+    entity = IRI("http://example.org/Entity")
+    name = IRI("http://example.org/name")
+    titles = ["alpha beta", "gamma delta", "epsilon zeta", "alpha betta", "gamma delt", "omega psi"]
+    left, right = Graph("left"), Graph("right")
+    for i, title in enumerate(titles):
+        subject = IRI(f"http://example.org/l{i}")
+        left.add(subject, RDF.type, entity)
+        left.add(subject, name, Literal(title))
+    for i, title in enumerate(titles):
+        subject = IRI(f"http://example.org/r{i}")
+        right.add(subject, RDF.type, entity)
+        right.add(subject, name, Literal(title.upper()))
+    return left, right, entity, name
+
+
+@pytest.fixture
+def snapshot_mode(monkeypatch):
+    """Force the store-snapshot sharing mode regardless of fork availability."""
+    monkeypatch.setattr(pool_module, "_FORCE_MODE", "snapshot")
+
+
+# ---------------------------------------------------------------------------
+# n_jobs resolution and escape hatches
+# ---------------------------------------------------------------------------
+
+
+def test_effective_n_jobs_defaults_to_sequential(monkeypatch):
+    monkeypatch.delenv(N_JOBS_ENV, raising=False)
+    assert effective_n_jobs() == 1
+    assert effective_n_jobs(3) == 3
+
+
+def test_effective_n_jobs_reads_environment(monkeypatch):
+    monkeypatch.setenv(N_JOBS_ENV, "3")
+    assert effective_n_jobs() == 3
+    assert effective_n_jobs(2) == 2  # explicit argument wins
+
+
+def test_effective_n_jobs_rejects_bad_environment(monkeypatch):
+    monkeypatch.setenv(N_JOBS_ENV, "many")
+    with pytest.raises(ParallelError, match="not an integer"):
+        effective_n_jobs()
+
+
+def test_effective_n_jobs_all_cores():
+    assert effective_n_jobs(0) == (os.cpu_count() or 1)
+    assert effective_n_jobs(-1) == (os.cpu_count() or 1)
+
+
+def test_force_sequential_hatch():
+    force_sequential(True)
+    try:
+        assert effective_n_jobs(8) == 1
+    finally:
+        force_sequential(False)
+    assert effective_n_jobs(8) == 8
+
+
+def _probe_nested(context, index):
+    return effective_n_jobs(8)
+
+
+def test_workers_never_nest_parallelism():
+    results = parallel_map(_probe_nested, 3, context=None, n_jobs=2)
+    assert results == [1, 1, 1]
+
+
+# ---------------------------------------------------------------------------
+# Parity: every call site, parallel vs sequential, bit-exact
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_jobs", [2, 3])
+def test_cross_validate_parity(dataset, n_jobs):
+    factory = lambda: DecisionTreeClassifier(max_depth=4)  # noqa: E731
+    sequential = cross_validate(factory, dataset, k=4, n_jobs=1)
+    parallel = cross_validate(factory, dataset, k=4, n_jobs=n_jobs)
+    assert _bits(parallel.accuracy) == _bits(sequential.accuracy)
+    assert _bits(parallel.macro_f1) == _bits(sequential.macro_f1)
+    assert _bits(parallel.kappa) == _bits(sequential.kappa)
+    assert [_bits(a) for a in parallel.fold_accuracies] == [
+        _bits(a) for a in sequential.fold_accuracies
+    ]
+    assert parallel.algorithm == sequential.algorithm
+
+
+def test_ensemble_fit_parity(dataset):
+    sequential = BaggingClassifier(n_estimators=6, feature_fraction=0.6, seed=3, n_jobs=1)
+    parallel = BaggingClassifier(n_estimators=6, feature_fraction=0.6, seed=3, n_jobs=2)
+    sequential.fit(dataset)
+    parallel.fit(dataset)
+    assert parallel.estimator_features_ == sequential.estimator_features_
+    assert parallel.predict(dataset) == sequential.predict(dataset)
+    for left, right in zip(parallel.predict_proba(dataset), sequential.predict_proba(dataset)):
+        assert {k: _bits(v) for k, v in left.items()} == {k: _bits(v) for k, v in right.items()}
+
+
+def test_random_subspace_forest_parity(dataset):
+    sequential = RandomSubspaceForest(n_estimators=5, seed=0, n_jobs=1)
+    parallel = RandomSubspaceForest(n_estimators=5, seed=0, n_jobs=2)
+    sequential.fit(dataset)
+    parallel.fit(dataset)
+    assert parallel.predict(dataset) == sequential.predict(dataset)
+
+
+def test_measure_quality_parity(dirty_dataset):
+    sequential = measure_quality(dirty_dataset, n_jobs=1)
+    parallel = measure_quality(dirty_dataset, n_jobs=2)
+    assert list(parallel.measures) == list(sequential.measures)
+    for name in sequential.measures:
+        assert _bits(parallel.score(name)) == _bits(sequential.score(name)), name
+
+
+def test_linker_parity(graph_pair):
+    left, right, entity, name = graph_pair
+    sequential = EntityLinker([LinkRule(name, name)], threshold=0.8, n_jobs=1)
+    parallel = EntityLinker([LinkRule(name, name)], threshold=0.8, n_jobs=2)
+    expected = sequential.link(left, entity, right, entity)
+    actual = parallel.link(left, entity, right, entity)
+    assert [(l.left, l.right, _bits(l.score)) for l in actual] == [
+        (l.left, l.right, _bits(l.score)) for l in expected
+    ]
+    assert expected  # the fixture links at least one pair
+
+
+def test_group_by_parity(dirty_dataset):
+    aggregations = {
+        "total": ("resolution_days", "sum"),
+        "spread": ("resolution_days", "std"),
+        "middle": ("resolution_days", "median"),
+        "n": ("resolution_days", "count"),
+    }
+    sequential = group_by(dirty_dataset, ["district"], aggregations, n_jobs=1)
+    parallel = group_by(dirty_dataset, ["district"], aggregations, n_jobs=2)
+    assert _row_bits(parallel.iter_rows()) == _row_bits(sequential.iter_rows())
+
+
+def test_env_variable_routes_call_sites(dirty_dataset, monkeypatch):
+    baseline = measure_quality(dirty_dataset, n_jobs=1)
+    monkeypatch.setenv(N_JOBS_ENV, "2")
+    routed = measure_quality(dirty_dataset)
+    for name in baseline.measures:
+        assert _bits(routed.score(name)) == _bits(baseline.score(name))
+
+
+# ---------------------------------------------------------------------------
+# Snapshot sharing mode (no fork: views travel as store paths)
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_mode_cross_validate_parity(dataset, snapshot_mode):
+    sequential = cross_validate(DecisionTreeClassifier, dataset, k=3, n_jobs=1)
+    parallel = cross_validate(DecisionTreeClassifier, dataset, k=3, n_jobs=2)
+    assert [_bits(a) for a in parallel.fold_accuracies] == [
+        _bits(a) for a in sequential.fold_accuracies
+    ]
+
+
+def test_snapshot_mode_unpicklable_context_falls_back(dataset, snapshot_mode):
+    factory = lambda: DecisionTreeClassifier(max_depth=4)  # noqa: E731
+    sequential = cross_validate(factory, dataset, k=3, n_jobs=1)
+    parallel = cross_validate(factory, dataset, k=3, n_jobs=2)  # lambda: sequential fallback
+    assert [_bits(a) for a in parallel.fold_accuracies] == [
+        _bits(a) for a in sequential.fold_accuracies
+    ]
+
+
+def test_snapshot_mode_group_by_parity(dirty_dataset, snapshot_mode):
+    aggregations = {"total": ("resolution_days", "sum"), "n": ("resolution_days", "count")}
+    sequential = group_by(dirty_dataset, ["district"], aggregations, n_jobs=1)
+    parallel = group_by(dirty_dataset, ["district"], aggregations, n_jobs=2)
+    assert _row_bits(parallel.iter_rows()) == _row_bits(sequential.iter_rows())
+
+
+def test_snapshot_mode_linker_parity(graph_pair, snapshot_mode):
+    left, right, entity, name = graph_pair
+    sequential = EntityLinker([LinkRule(name, name)], threshold=0.8, n_jobs=1)
+    parallel = EntityLinker([LinkRule(name, name)], threshold=0.8, n_jobs=2)
+    expected = sequential.link(left, entity, right, entity)
+    actual = parallel.link(left, entity, right, entity)
+    assert [(l.left, l.right, _bits(l.score)) for l in actual] == [
+        (l.left, l.right, _bits(l.score)) for l in expected
+    ]
+
+
+def test_snapshot_mode_leaves_no_temp_files(dirty_dataset, snapshot_mode):
+    before = set(Path(tempfile.gettempdir()).glob("repro-parallel-*"))
+    measure_quality(dirty_dataset, n_jobs=2)
+    after = set(Path(tempfile.gettempdir()).glob("repro-parallel-*"))
+    assert after == before
+
+
+def test_view_handle_reuses_open_store(tmp_path, dataset):
+    path = tmp_path / "reuse.rps"
+    dataset.save(path)
+    opened = Dataset.open(path)
+    handle = ViewHandle(opened)
+    handle.ensure_stored(str(tmp_path / "unused"))
+    assert handle._path == str(path)  # no second copy written
+    clone = pickle.loads(pickle.dumps(handle))
+    assert clone.resolve().n_rows == dataset.n_rows
+    opened.close()
+
+
+def test_view_handle_refuses_pickle_before_ensure_stored(dataset):
+    with pytest.raises(ParallelError, match="ensure_stored"):
+        pickle.dumps(ViewHandle(dataset))
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: failures surface structurally, never hang
+# ---------------------------------------------------------------------------
+
+
+def _raising_worker(context, index):
+    if index == 1:
+        raise ValueError("unit 1 is broken")
+    return index
+
+
+def _dying_worker(context, index):
+    if index == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return index
+
+
+def test_worker_exception_surfaces_as_structured_error():
+    with pytest.raises(MiningError, match="worker failed"):
+        parallel_map(_raising_worker, 4, context=None, n_jobs=2, error_cls=MiningError)
+
+
+def test_worker_death_surfaces_as_structured_error():
+    with pytest.raises(DataQualityError, match="died mid-run"):
+        parallel_map(_dying_worker, 4, context=None, n_jobs=2, error_cls=DataQualityError)
+
+
+def _unpicklable_result_worker(context, index):
+    if index == 1:
+        return lambda: index  # cannot travel back through the result pipe
+    return index
+
+
+def test_unpicklable_result_falls_back_to_sequential():
+    assert parallel_map(_unpicklable_result_worker, 3, context=None, n_jobs=2) is None
+
+
+def test_worker_death_leaves_no_temp_files(monkeypatch):
+    monkeypatch.setattr(pool_module, "_FORCE_MODE", "snapshot")
+    before = set(Path(tempfile.gettempdir()).glob("repro-parallel-*"))
+    with pytest.raises(ParallelError):
+        parallel_map(_dying_worker, 4, context=None, n_jobs=2)
+    after = set(Path(tempfile.gettempdir()).glob("repro-parallel-*"))
+    assert after == before
+
+
+# ---------------------------------------------------------------------------
+# Views never cross the process boundary by value
+# ---------------------------------------------------------------------------
+
+
+def test_encoded_dataset_refuses_pickling(dataset):
+    with pytest.raises(TypeError, match="cannot be pickled"):
+        pickle.dumps(encode_dataset(dataset))
+
+
+def test_dataset_pickle_drops_view_state(tmp_path, dataset):
+    encode_dataset(dataset)  # populate the instance cache
+    clone = pickle.loads(pickle.dumps(dataset))
+    assert not hasattr(clone, "_encoded_cache")
+    path = tmp_path / "drop.rps"
+    dataset.save(path)
+    opened = Dataset.open(path)
+    encode_dataset(opened)
+    state = opened.__getstate__()
+    assert "_store_file" not in state
+    assert "_encoded_cache" not in state
+    opened.close()
+
+
+def test_no_memmap_crosses_the_pipe(tmp_path, dirty_dataset, monkeypatch, snapshot_mode):
+    """Spy: with memmap pickling booby-trapped, a store-backed run still works."""
+    path = tmp_path / "spy.rps"
+    dirty_dataset.save(path)
+    opened = Dataset.open(path)
+
+    def _refuse(self, *args):
+        raise AssertionError("a memory map was pickled across the process boundary")
+
+    monkeypatch.setattr(np.memmap, "__reduce__", _refuse, raising=False)
+    baseline = measure_quality(dirty_dataset, n_jobs=1)
+    profile = measure_quality(opened, n_jobs=2)
+    for name in baseline.measures:
+        assert _bits(profile.score(name)) == _bits(baseline.score(name))
+    opened.close()
