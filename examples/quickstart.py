@@ -146,6 +146,39 @@ def main() -> None:
           f"({store_path.stat().st_size} bytes, profile identical), "
           f"{graph_path.name} ({len(reopened_graph)} triples)")
 
+    # 9. Serve the snapshot over HTTP and watch the result cache work.
+    # The same query twice: the first response computes (cache miss), the
+    # second replays the identical bytes from the fingerprint-keyed cache
+    # (cache hit) without touching the data.  See docs/serving.md.
+    import json as _json
+    import threading
+    import urllib.request
+
+    from repro.serve import CACHE_HEADER, create_server
+
+    server = create_server(stores=[store_path])
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        query = _json.dumps({"criteria": ["completeness", "balance"]}).encode()
+        responses = []
+        for _ in range(2):
+            request = urllib.request.Request(
+                server.url + "/profile", data=query,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                responses.append((reply.headers[CACHE_HEADER], reply.read()))
+        assert responses[0][0] == "miss" and responses[1][0] == "hit"
+        assert responses[0][1] == responses[1][1]
+        print(f"\n[9] served {store_path.name} at {server.url}: "
+              f"first /profile was a cache {responses[0][0]}, "
+              f"second a cache {responses[1][0]} with identical bytes")
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.close()
+
 
 if __name__ == "__main__":
     main()

@@ -24,7 +24,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import OLAPError, SchemaError
-from repro.tabular.dataset import Dataset, is_missing_value
+from repro.tabular.dataset import Column, Dataset, is_missing_value
 from repro.tabular.encoded import encode_dataset
 from repro.tabular.transforms import group_by
 
@@ -180,10 +180,10 @@ class Cube:
             return group_by(
                 self.dataset, list(levels), self._aggregations(), force_row=self._force_row_olap
             )
-        # Grand total: group by a constant pseudo-column.
-        working = self.dataset.add_column(
-            type(self.dataset.columns[0])("__all__", ["all"] * self.dataset.n_rows)
-        )
+        # Grand total: group by a constant pseudo-column.  Always a plain
+        # Column — the dataset's own columns may be memory-mapped
+        # StoredColumn views, which cannot be built from a value list.
+        working = self.dataset.add_column(Column("__all__", ["all"] * self.dataset.n_rows))
         result = group_by(working, ["__all__"], self._aggregations(), force_row=self._force_row_olap)
         return result.drop_columns(["__all__"]) if result.n_columns > 1 else result
 

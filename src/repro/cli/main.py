@@ -367,6 +367,49 @@ def _cmd_salvage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve snapshots over HTTP until SIGTERM/SIGINT (see docs/serving.md)."""
+    import signal
+
+    from repro.serve import ENDPOINTS, create_server
+
+    for path in (args.store or []) + (args.graph or []):
+        if not Path(path).exists():
+            raise ReproError(f"snapshot file {path} does not exist")
+    knowledge_base = _load_knowledge_base(args.kb) if args.kb else None
+    server = create_server(
+        stores=args.store,
+        graphs=args.graph,
+        knowledge_base=knowledge_base,
+        host=args.host,
+        port=args.port,
+        cache_entries=args.cache_entries,
+        verbose=args.verbose,
+    )
+
+    class _Shutdown(Exception):
+        """Raised by the signal handlers to break out of serve_forever."""
+
+    def _signalled(signum, _frame):
+        raise _Shutdown(signal.Signals(signum).name)
+
+    previous = {
+        sig: signal.signal(sig, _signalled) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    names = ", ".join(server.app.registry.names())
+    try:
+        print(f"serving {names} on {server.url} (endpoints: {', '.join(sorted(ENDPOINTS))})",
+              flush=True)
+        server.serve_forever(poll_interval=0.1)
+    except _Shutdown as exc:
+        print(f"shutting down ({exc})", flush=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.close()
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.tabular.io_csv import write_csv
 
@@ -520,6 +563,22 @@ def build_parser() -> argparse.ArgumentParser:
     salvage.add_argument("--strict", action="store_true",
                          help="route through the strict reference parser (fails on any defect)")
     salvage.set_defaults(func=_cmd_salvage)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve .rps snapshots over HTTP (profile, advise, cube, KPI, LOD queries)"
+    )
+    serve.add_argument("--store", action="append", default=[],
+                       help=".rps dataset store to serve (repeatable; named after the file stem)")
+    serve.add_argument("--graph", action="append", default=[],
+                       help=".rps graph store to serve (repeatable; named after the file stem)")
+    serve.add_argument("--kb", help="knowledge base (.json or .db) enabling the /advise endpoint")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350,
+                       help="TCP port to bind (0: let the OS pick; printed on startup)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="maximum responses kept in the fingerprint-keyed LRU result cache")
+    serve.add_argument("--verbose", action="store_true", help="log each request to stderr")
+    serve.set_defaults(func=_cmd_serve)
 
     datasets = subparsers.add_parser("datasets", help="generate one of the built-in civic datasets as CSV")
     datasets.add_argument("name", help=f"one of {sorted(CIVIC_GENERATORS)}")

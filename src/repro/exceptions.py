@@ -50,6 +50,18 @@ class ParallelError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The serving tier rejected a request or was misconfigured.
+
+    Raised for malformed endpoint queries (unknown columns, bad pattern
+    syntax, missing required parameters), references to snapshots the
+    registry does not hold, and invalid server configuration (bad port,
+    no snapshots).  The HTTP front end maps it to a structured 4xx JSON
+    response; callers using :class:`repro.serve.ReproApp` directly catch
+    it like any other :class:`ReproError`.
+    """
+
+
 class StoreError(ReproError):
     """A binary encoded-store file could not be written or opened."""
 

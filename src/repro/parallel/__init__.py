@@ -31,6 +31,7 @@ from repro.parallel.pool import (
     effective_n_jobs,
     force_sequential,
     parallel_map,
+    thread_sequential,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "effective_n_jobs",
     "force_sequential",
     "parallel_map",
+    "thread_sequential",
 ]

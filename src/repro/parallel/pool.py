@@ -35,11 +35,13 @@ pool is torn down, and temporary snapshot files are removed.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import pickle
 import shutil
 import tempfile
+import threading
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -65,6 +67,16 @@ _FORCE_MODE: str | None = None
 #: forking grandchildren.
 _IN_WORKER = False
 
+#: Per-thread state carrying the :func:`thread_sequential` flag.  Unlike
+#: :data:`_FORCE_SEQUENTIAL` (process-wide) this pins only the *current
+#: thread* to the sequential tier, which is what a multi-threaded server
+#: needs: request-handler threads must never fork (POSIX ``fork`` from a
+#: thread other than the main one clones a process whose other threads —
+#: and any locks they hold — vanish mid-operation, so the child can
+#: deadlock inside ``ProcessPoolExecutor``'s own machinery), while the
+#: main thread of the same process keeps its full ``n_jobs`` semantics.
+_THREAD_STATE = threading.local()
+
 #: ``(worker, context)`` for the units in flight, reachable by forked
 #: workers through inheritance (set just before the pool is created).
 _CONTEXT: tuple[Callable[..., Any], Any] | None = None
@@ -79,10 +91,11 @@ def effective_n_jobs(n_jobs: int | None = None) -> int:
 
     ``None`` reads the :data:`N_JOBS_ENV` environment variable (defaulting
     to 1, the sequential tier); ``0`` or a negative value means "all
-    cores".  Inside a worker process, and while the
+    cores".  Inside a worker process, inside a :func:`thread_sequential`
+    block (server request-handler threads), and while the
     :data:`_FORCE_SEQUENTIAL` hatch is set, the answer is always 1.
     """
-    if _FORCE_SEQUENTIAL or _IN_WORKER:
+    if _FORCE_SEQUENTIAL or _IN_WORKER or getattr(_THREAD_STATE, "sequential", False):
         return 1
     if n_jobs is None:
         raw = os.environ.get(N_JOBS_ENV, "").strip()
@@ -104,6 +117,34 @@ def force_sequential(enabled: bool = True) -> None:
     """Set (or clear) the library-wide sequential escape hatch."""
     global _FORCE_SEQUENTIAL
     _FORCE_SEQUENTIAL = bool(enabled)
+
+
+@contextlib.contextmanager
+def thread_sequential():
+    """Pin the *current thread* to the sequential tier for the block's duration.
+
+    Inside the block every ``n_jobs`` resolution on this thread —
+    including ``n_jobs=None`` call sites reading :data:`N_JOBS_ENV` and
+    explicit ``n_jobs>1`` requests — answers 1, so no call made from the
+    block ever dispatches a worker pool.  Other threads of the same
+    process are unaffected.
+
+    This is the contract the serving tier builds on: forking from a
+    request-handler thread is unsafe (the forked child inherits only the
+    calling thread, so any lock another thread held at fork time — the
+    import lock, an executor's queue lock, the HTTP server's own state —
+    stays locked forever in the child), and the parallel tier's results
+    are bit-identical to the sequential tier by construction, so pinning
+    handler threads to sequential execution changes nothing about the
+    bytes a server returns.  Re-entrant: nested blocks keep the flag set
+    until the outermost one exits.
+    """
+    previous = getattr(_THREAD_STATE, "sequential", False)
+    _THREAD_STATE.sequential = True
+    try:
+        yield
+    finally:
+        _THREAD_STATE.sequential = previous
 
 
 class ViewHandle:

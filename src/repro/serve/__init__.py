@@ -1,0 +1,68 @@
+"""The snapshot-serving tier: a long-lived advisor/BI server (O3).
+
+``repro.serve`` turns the library from a fresh-process-per-question CLI
+into a production shape: one long-lived process holding **immutable
+memory-mapped snapshots** (datasets and graphs opened from ``.rps`` store
+files, see :mod:`repro.store`) and answering concurrent JSON-over-HTTP
+queries against them — profile, advise, cube aggregate/pivot, KPI and LOD
+select/ask — with nothing but the standard library.
+
+The tier stands on three guarantees, each carried by one module:
+
+* **content fingerprints** (:mod:`repro.serve.fingerprint`) — O(metadata)
+  identities derived from the store's per-section CRC-32 directory; equal
+  content ⇒ equal fingerprint, any one-cell mutation ⇒ a different one;
+* **fingerprint-keyed result caching** (:mod:`repro.serve.cache`) — a
+  bounded LRU over serialized response bytes keyed by ``(fingerprint,
+  endpoint, canonical query)``, so hot responses are bit-identical to
+  cold ones and entries for retired snapshots are unreachable by key;
+* **atomic snapshot swaps** (:mod:`repro.serve.registry`) —
+  publish-then-retire reloads that never tear an in-flight request: a
+  request leases one snapshot for its whole life and the retired memory
+  map closes only when the last lease drains.
+
+Every endpoint response is *defined* as the canonical serialization of a
+direct library call (:func:`repro.serve.endpoints.evaluate`), which is
+what the concurrency-parity suite (``tests/test_serve_parity.py``)
+verifies bit-for-bit under thread contention, cache hits and mid-flight
+swaps.  Start one from the command line with ``repro serve``; see
+``docs/serving.md``.
+"""
+
+from repro.serve.cache import DEFAULT_MAX_ENTRIES, ResultCache, canonical_query
+from repro.serve.endpoints import ENDPOINTS, encode_response, evaluate
+from repro.serve.fingerprint import (
+    fingerprint_path,
+    fingerprint_payload,
+    fingerprint_store_file,
+)
+from repro.serve.registry import Snapshot, SnapshotRegistry, open_snapshot_payload
+from repro.serve.server import (
+    CACHE_HEADER,
+    FINGERPRINT_HEADER,
+    SNAPSHOT_HEADER,
+    ReproApp,
+    ReproServer,
+    create_server,
+)
+
+__all__ = [
+    "CACHE_HEADER",
+    "DEFAULT_MAX_ENTRIES",
+    "ENDPOINTS",
+    "FINGERPRINT_HEADER",
+    "ReproApp",
+    "ReproServer",
+    "ResultCache",
+    "SNAPSHOT_HEADER",
+    "Snapshot",
+    "SnapshotRegistry",
+    "canonical_query",
+    "create_server",
+    "encode_response",
+    "evaluate",
+    "fingerprint_path",
+    "fingerprint_payload",
+    "fingerprint_store_file",
+    "open_snapshot_payload",
+]

@@ -1,0 +1,123 @@
+"""A bounded, thread-safe, fingerprint-keyed LRU cache for query results.
+
+Entries are keyed on ``(fingerprint, endpoint, canonical-query)``:
+
+* the **fingerprint** (:mod:`repro.serve.fingerprint`) names the exact
+  snapshot content a result was computed from, so a snapshot swap makes
+  every old entry structurally unreachable — requests against the new
+  snapshot look up under the new fingerprint and can never be handed a
+  result computed on retired data;
+* the **endpoint** is the request path (``/profile``, ``/cube/pivot``…);
+* the **canonical query** is the request parameters re-serialized by
+  :func:`canonical_query`, so two requests that spell the same query
+  differently (key order, whitespace, GET vs POST) share one entry.
+
+Values are the fully serialized response bodies (bytes), not Python
+objects: a cache hit re-sends the exact bytes the first computation
+produced, which is what makes hot responses *bit-identical* to cold ones
+by construction rather than by re-serialization discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.exceptions import ServeError
+
+#: Default maximum number of cached responses per server.
+DEFAULT_MAX_ENTRIES = 256
+
+
+def canonical_query(params: dict[str, Any]) -> str:
+    """Serialize request parameters into their canonical cache-key form.
+
+    Compact JSON with sorted keys: insertion order, whitespace and unicode
+    spelling differences all collapse to one key.  Parameters must be
+    JSON-serialisable (they arrived as JSON in the first place); anything
+    else is a programming error surfaced as :class:`ServeError`.
+    """
+    try:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"query parameters are not JSON-serialisable: {exc}") from exc
+
+
+class ResultCache:
+    """Bounded LRU mapping ``(fingerprint, endpoint, canonical-query)`` → bytes.
+
+    All operations take one internal lock, so the cache is safe under the
+    serving tier's thread-per-request concurrency; hits move the entry to
+    the most-recently-used end, and inserts beyond ``max_entries`` evict
+    from the least-recently-used end.  Counters (:attr:`hits`,
+    :attr:`misses`, :attr:`evictions`) feed the ``/cache/stats`` endpoint.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        """Create an empty cache holding at most ``max_entries`` responses."""
+        if max_entries < 1:
+            raise ServeError(f"cache needs max_entries >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple[str, str, str], bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, fingerprint: str, endpoint: str, query: str) -> bytes | None:
+        """The cached response bytes, or ``None`` on a miss."""
+        key = (fingerprint, endpoint, query)
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, fingerprint: str, endpoint: str, query: str, body: bytes) -> None:
+        """Insert (or refresh) a response, evicting the LRU tail if full."""
+        key = (fingerprint, endpoint, query)
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def prune(self, live_fingerprints: set[str]) -> int:
+        """Drop every entry whose fingerprint is not in ``live_fingerprints``.
+
+        Called after a snapshot swap: retired-fingerprint entries are
+        already unreachable (lookups use the new fingerprint), so pruning
+        is purely a memory courtesy — it returns the number dropped.
+        """
+        with self._lock:
+            dead = [key for key in self._entries if key[0] not in live_fingerprints]
+            for key in dead:
+                del self._entries[key]
+            return len(dead)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        """Number of cached responses."""
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counters and occupancy, as served by ``/cache/stats``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

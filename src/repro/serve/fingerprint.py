@@ -1,0 +1,83 @@
+"""Content fingerprints for ``.rps`` store snapshots.
+
+The serving tier keys its result caches on *what data a response was
+computed from*, not on which file path happened to hold it.  The store
+format already pays for exactly the summary we need: every section
+payload carries a CRC-32 in the directory (``docs/store-format.md``), and
+the writer is deterministic — saving the same dataset or graph twice
+produces byte-identical section payloads.  A fingerprint therefore hashes
+the *directory*, not the data:
+
+* computing one is **O(metadata)** — it reads the 64-byte header and the
+  64-byte-per-section directory, never the array payloads, so
+  fingerprinting a multi-gigabyte snapshot costs the same as a tiny one
+  and never pages mapped arrays in;
+* two stores holding identical content share a fingerprint (deterministic
+  writer ⇒ identical payload bytes ⇒ identical section CRCs);
+* any one-cell mutation changes at least one section payload, hence that
+  section's CRC, hence the fingerprint.
+
+The fingerprint is the first 16 hex digits of a SHA-256 over the payload
+kind and every section's identity ``(name, kind, dtype, count, length,
+crc32)`` in directory order.  Offsets are deliberately excluded: they are
+a property of the file layout, not of the content (though today's writer
+makes them deterministic too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ServeError
+from repro.store.format import KIND_NAMES, StoreFile
+
+#: Hex digits kept from the SHA-256 digest (64 bits — comfortably below
+#: any realistic collision risk for a registry of snapshots).
+FINGERPRINT_HEX_DIGITS = 16
+
+
+def fingerprint_store_file(store_file: StoreFile) -> str:
+    """Fingerprint an open :class:`~repro.store.format.StoreFile`.
+
+    Reads only the already parsed header and directory — no payload bytes
+    are touched, so this works identically on a freshly opened store and
+    on one whose arrays are lazily memory-mapped behind live views.
+    """
+    digest = hashlib.sha256()
+    digest.update(KIND_NAMES[store_file.kind].encode("ascii"))
+    for name, section in store_file.sections.items():
+        digest.update(
+            f"|{name}:{section.kind}:{section.dtype}:{section.count}"
+            f":{section.length}:{section.crc:08x}".encode("ascii")
+        )
+    return digest.hexdigest()[:FINGERPRINT_HEX_DIGITS]
+
+
+def fingerprint_path(path: Path | str) -> str:
+    """Fingerprint the store file at ``path`` (opened and closed here).
+
+    The open validates the header and directory checksums, so a corrupt
+    directory raises :class:`~repro.exceptions.StoreCorruptionError`
+    instead of producing a fingerprint for garbage.
+    """
+    with StoreFile(path) as store_file:
+        return fingerprint_store_file(store_file)
+
+
+def fingerprint_payload(payload: Any) -> str:
+    """Fingerprint a store-backed :class:`Dataset` or :class:`Graph`.
+
+    The payload must have been produced by ``Dataset.open`` /
+    ``Graph.open`` (it carries its ``StoreFile`` as ``_store_file``); an
+    in-memory payload has no on-disk identity to fingerprint and raises
+    :class:`~repro.exceptions.ServeError` — save it first.
+    """
+    store_file = getattr(payload, "_store_file", None)
+    if store_file is None or getattr(store_file, "closed", True):
+        raise ServeError(
+            "payload is not backed by an open .rps store; save it and reopen "
+            "it (Dataset.open / Graph.open) before serving it"
+        )
+    return fingerprint_store_file(store_file)

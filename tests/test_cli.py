@@ -309,3 +309,83 @@ class TestSalvageCommand:
     def test_salvage_missing_file_is_an_error(self, tmp_path, capsys):
         assert main(["salvage", str(tmp_path / "nope.csv")]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestStoreCommandErrors:
+    def test_store_open_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["store", "open", str(tmp_path / "nope.rps")]) == 2
+        assert "cannot open store" in capsys.readouterr().err
+
+    def test_store_inspect_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["store", "inspect", str(tmp_path / "nope.rps")]) == 2
+        assert "cannot open store" in capsys.readouterr().err
+
+    def test_store_save_missing_input_is_an_error(self, tmp_path, capsys):
+        assert main(["store", "save", str(tmp_path / "nope.csv"), str(tmp_path / "out.rps")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_salvage_store_format_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["salvage", str(tmp_path / "nope.rps"), "--format", "store"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-serve")
+        return service_requests(n_rows=40, seed=7).save(directory / "requests.rps")
+
+    def test_serve_missing_store_is_an_error(self, tmp_path, capsys):
+        assert main(["serve", "--store", str(tmp_path / "nope.rps"), "--port", "0"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_corrupt_store_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.rps"
+        path.write_bytes(b"this is not a store file")
+        assert main(["serve", "--store", str(path), "--port", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_without_snapshots_is_an_error(self, capsys):
+        assert main(["serve", "--port", "0"]) == 2
+        assert "at least one --store or --graph" in capsys.readouterr().err
+
+    def test_serve_out_of_range_port_is_an_error(self, store_path, capsys):
+        assert main(["serve", "--store", str(store_path), "--port", "99999"]) == 2
+        assert "port must be in [0, 65535]" in capsys.readouterr().err
+
+    def test_serve_duplicate_snapshot_names_is_an_error(self, store_path, tmp_path, capsys):
+        clash = tmp_path / "requests.rps"
+        clash.write_bytes(store_path.read_bytes())
+        code = main(
+            ["serve", "--store", str(store_path), "--store", str(clash), "--port", "0"]
+        )
+        assert code == 2
+        assert "share the name" in capsys.readouterr().err
+
+    def test_serve_sigterm_is_a_clean_shutdown(self, store_path):
+        """The long-running server process exits 0 on SIGTERM."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--store", str(store_path), "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "serving requests on http://" in banner
+            process.send_signal(signal.SIGTERM)
+            output = process.communicate(timeout=30)[0]
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert process.returncode == 0, output
+        assert "shutting down (SIGTERM)" in output

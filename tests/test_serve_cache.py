@@ -1,0 +1,209 @@
+"""Property suite for serving-tier fingerprints and the result cache.
+
+Hypothesis drives two families of properties:
+
+* **fingerprint soundness** — saving identical content twice yields the
+  same fingerprint (cache hits survive a byte-identical re-save), while
+  mutating a single cell yields a different one (a changed store can
+  never alias a cached result);
+* **cache/swap interleavings** — arbitrary sequences of {query,
+  re-save-modified-store, swap, query} driven through
+  :meth:`repro.serve.ReproApp.handle` (the exact code path the HTTP
+  server runs, minus sockets) never return a response whose fingerprint
+  differs from the currently-registered snapshot, and every body is
+  bit-identical to a direct library call on the store file that snapshot
+  was opened from.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.serve import (
+    FINGERPRINT_HEADER,
+    ReproApp,
+    ResultCache,
+    SnapshotRegistry,
+    canonical_query,
+    encode_response,
+    evaluate,
+    fingerprint_path,
+)
+from repro.store import open_dataset
+from repro.tabular.dataset import Dataset
+
+#: Unique file names across hypothesis examples sharing one tmp_path.
+_FILE_COUNTER = itertools.count()
+
+_GROUPS = ["alpha", "beta", "gamma"]
+
+#: The two cheap queries the interleaving machine fires.
+_QUERIES = [
+    ("/cube/aggregate", {
+        "dimensions": ["g"],
+        "measures": [{"column": "x", "aggregation": "sum"},
+                     {"column": "x", "aggregation": "count", "name": "n"}],
+        "levels": ["g"],
+    }),
+    ("/profile", {"criteria": ["completeness", "balance", "duplication"]}),
+]
+
+
+def _make_dataset(version: int, n_rows: int = 8) -> Dataset:
+    """A tiny deterministic dataset whose content is a function of ``version``."""
+    rows = [
+        {"g": _GROUPS[i % len(_GROUPS)], "x": float(i) + version * 0.5, "y": float((i * 7) % 5)}
+        for i in range(n_rows)
+    ]
+    return Dataset.from_rows(rows, name="tiny")
+
+
+def _save(dataset: Dataset, tmp_path):
+    """Save to a path that is unique across hypothesis examples."""
+    return dataset.save(tmp_path / f"s{next(_FILE_COUNTER):05d}.rps")
+
+
+# -- fingerprint soundness ----------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(version=st.integers(min_value=0, max_value=1_000), n_rows=st.integers(2, 16))
+def test_identical_content_shares_a_fingerprint(tmp_path, version, n_rows):
+    """Equal content ⇒ equal fingerprint, whatever file it was saved to."""
+    first = _save(_make_dataset(version, n_rows), tmp_path)
+    second = _save(_make_dataset(version, n_rows), tmp_path)
+    assert fingerprint_path(first) == fingerprint_path(second)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    version=st.integers(min_value=0, max_value=1_000),
+    row=st.integers(min_value=0, max_value=7),
+    column=st.sampled_from(["g", "x", "y"]),
+)
+def test_one_cell_mutation_changes_the_fingerprint(tmp_path, version, row, column):
+    """Any single-cell edit must produce a different fingerprint."""
+    base = _make_dataset(version)
+    pristine = _save(base, tmp_path)
+    rows = base.to_rows()
+    rows[row][column] = "MUTATED" if column == "g" else float(rows[row][column]) + 1.0
+    mutated = _save(Dataset.from_rows(rows, name="tiny"), tmp_path)
+    assert fingerprint_path(pristine) != fingerprint_path(mutated)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(version=st.integers(min_value=0, max_value=1_000))
+def test_fingerprint_ignores_the_file_name(tmp_path, version):
+    """The fingerprint is content identity — paths and mtimes don't leak in."""
+    dataset = _make_dataset(version)
+    assert fingerprint_path(dataset.save(tmp_path / f"a{version}.rps")) == fingerprint_path(
+        dataset.save(tmp_path / f"completely-different-name-{version}.rps")
+    )
+
+
+# -- cache/swap interleavings -------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    ops=st.lists(
+        st.sampled_from(["query0", "query1", "modify", "swap"]),
+        min_size=1, max_size=12,
+    )
+)
+def test_interleavings_never_serve_stale_or_torn_results(tmp_path, ops):
+    """The central cache property, under arbitrary op interleavings.
+
+    Whatever order queries, re-saves and swaps arrive in: a query's
+    fingerprint always equals the registered snapshot's, and its body is
+    bit-identical to the direct library call on that snapshot's file —
+    so a cached result can never outlive the content it was computed on.
+    """
+    version = 0
+    live_path = pending_path = _save(_make_dataset(version), tmp_path)
+    registry = SnapshotRegistry()
+    registry.publish("tiny", live_path)
+    app = ReproApp(registry, ResultCache(max_entries=8))
+    try:
+        for op in ops:
+            if op == "modify":
+                version += 1
+                pending_path = _save(_make_dataset(version), tmp_path)
+            elif op == "swap":
+                status, _, body = app.handle(
+                    "POST", "/reload", {"name": "tiny", "path": str(pending_path)}
+                )
+                assert status == 200
+                reply = json.loads(body)
+                expected_change = fingerprint_path(pending_path) != fingerprint_path(live_path)
+                assert reply["changed"] == expected_change
+                live_path = pending_path
+            else:
+                path, params = _QUERIES[0 if op == "query0" else 1]
+                status, headers, body = app.handle("POST", path, params)
+                assert status == 200
+                # Never stale: the response carries the registered fingerprint.
+                assert headers[FINGERPRINT_HEADER] == registry.get("tiny").fingerprint
+                assert headers[FINGERPRINT_HEADER] == fingerprint_path(live_path)
+                # Never torn: bit-identical to the direct call on that file.
+                direct = open_dataset(live_path)
+                try:
+                    assert body == encode_response(evaluate(path, direct, params))
+                finally:
+                    direct.close()
+                assert len(app.cache) <= 8
+    finally:
+        registry.close_all()
+
+
+# -- deterministic cache unit properties --------------------------------------
+
+
+def test_canonical_query_is_key_order_insensitive():
+    """Spelling-level differences collapse to one canonical key."""
+    a = canonical_query({"b": [1, 2], "a": {"y": 1, "x": 2}})
+    b = canonical_query({"a": {"x": 2, "y": 1}, "b": [1, 2]})
+    assert a == b
+
+
+def test_lru_eviction_is_bounded_and_oldest_first():
+    """The cache never exceeds its bound and evicts least-recently-used."""
+    cache = ResultCache(max_entries=3)
+    for i in range(5):
+        cache.put("fp", "/e", f"q{i}", b"%d" % i)
+    assert len(cache) == 3
+    assert cache.get("fp", "/e", "q0") is None
+    assert cache.get("fp", "/e", "q1") is None
+    assert cache.get("fp", "/e", "q4") == b"4"
+    stats = cache.stats()
+    assert stats["evictions"] == 2
+    assert stats["entries"] == 3
+
+
+def test_get_refreshes_recency():
+    """A hit protects the entry from the next eviction."""
+    cache = ResultCache(max_entries=2)
+    cache.put("fp", "/e", "old", b"old")
+    cache.put("fp", "/e", "new", b"new")
+    assert cache.get("fp", "/e", "old") == b"old"
+    cache.put("fp", "/e", "newest", b"newest")
+    assert cache.get("fp", "/e", "old") == b"old", "recently-used entry survived"
+    assert cache.get("fp", "/e", "new") is None, "least-recently-used entry evicted"
+
+
+def test_prune_drops_only_retired_fingerprints():
+    """``prune`` clears retired snapshots' entries and keeps live ones."""
+    cache = ResultCache(max_entries=8)
+    cache.put("live", "/e", "q", b"keep")
+    cache.put("retired", "/e", "q", b"drop")
+    cache.put("retired", "/f", "q", b"drop-too")
+    assert cache.prune({"live"}) == 2
+    assert cache.get("live", "/e", "q") == b"keep"
+    assert cache.get("retired", "/e", "q") is None

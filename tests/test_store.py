@@ -142,6 +142,22 @@ def test_group_by_and_cube_identical_on_reopened_dataset(tmp_path):
     assert cube_of(opened) == cube_of(dataset)
 
 
+def test_cube_grand_total_on_reopened_dataset(tmp_path):
+    """Regression: ``Cube.aggregate(None)`` built its ``__all__`` pseudo-column
+    with ``type(columns[0])``, which blew up on memory-mapped StoredColumns."""
+    dataset = _source()
+    opened = open_dataset(save_dataset(dataset, tmp_path / "sr.rps"))
+
+    def total_of(ds):
+        return Cube(
+            ds,
+            dimensions=[Dimension("district", ("district",))],
+            measures=[Measure("mean_days", "resolution_days", "mean")],
+        ).aggregate()
+
+    assert total_of(opened) == total_of(dataset)
+
+
 def test_cross_validation_identical_on_reopened_dataset(tmp_path):
     dataset = _source(120).set_target("resolved_late")
     opened = open_dataset(save_dataset(dataset, tmp_path / "sr.rps"))
