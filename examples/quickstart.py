@@ -174,6 +174,40 @@ def main() -> None:
         print(f"\n[9] served {store_path.name} at {server.url}: "
               f"first /profile was a cache {responses[0][0]}, "
               f"second a cache {responses[1][0]} with identical bytes")
+
+        # 10. A feed delivers fresh rows overnight: append them (old rows are
+        # never re-encoded), refresh the profile in O(|delta|), replace the
+        # store atomically and POST /reload — the server swaps snapshots
+        # without recomputing anything.  See docs/ingest.md.
+        import os
+
+        from repro.feeds import IncrementalProfile
+
+        tracker = IncrementalProfile(reopened, criteria=["completeness", "balance"])
+        batch = [dict(reopened.row(i)) for i in range(3)]
+        merged = reopened.append_rows(batch)
+        refreshed = tracker.refresh(merged)
+        assert refreshed.as_dict() == measure_quality(merged, ["completeness", "balance"]).as_dict()
+        tmp_path = store_path.with_name(store_path.name + ".tmp")
+        merged.save(tmp_path)
+        os.replace(tmp_path, store_path)
+        reload_request = urllib.request.Request(
+            server.url + "/reload",
+            data=_json.dumps({"name": store_path.stem}).encode(),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(reload_request, timeout=30) as reply:
+            swap = _json.loads(reply.read())
+        assert swap["changed"]
+        request = urllib.request.Request(
+            server.url + "/profile", data=query,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            status, body = reply.headers[CACHE_HEADER], reply.read()
+        assert status == "miss" and body != responses[0][1]
+        print(f"\n[10] ingested {len(batch)} feed rows and reloaded: refresh "
+              f"bit-identical to the recompute, served /profile now a cache {status}")
     finally:
         server.shutdown()
         thread.join(timeout=10)

@@ -410,6 +410,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _post_reload(url: str, name: str) -> dict:
+    """POST /reload to a running ``repro serve`` instance; returns the reply."""
+    import urllib.error
+    import urllib.request
+
+    body = json.dumps({"name": name}).encode("utf-8")
+    request = urllib.request.Request(
+        url.rstrip("/") + "/reload",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        raise ReproError(f"server at {url} rejected the reload: {detail}") from exc
+    except (urllib.error.URLError, OSError) as exc:
+        raise ReproError(f"cannot reach the server at {url}: {exc}") from exc
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Append a feed batch to a .rps dataset store, then optionally reload a server.
+
+    The store file is replaced atomically (write to a sibling ``.tmp``, then
+    ``os.replace``), so a server currently mapping the old file keeps serving
+    its snapshot untorn until ``POST /reload`` swaps it.
+    """
+    import os
+
+    from repro.feeds import FeedConnector, FixtureFeed
+
+    store_path = Path(args.store)
+    if not store_path.exists():
+        raise ReproError(f"store file {args.store} does not exist")
+    feed = FixtureFeed(args.feed, cursor_field=args.cursor_field)
+    connector = FeedConnector(feed, page_size=args.limit, throttle=args.sleep)
+    rows = connector.records(since=args.since)
+    base = Dataset.open(store_path)
+    try:
+        if not rows:
+            print(f"no new records in {args.feed}"
+                  + (f" after cursor {args.since!r}" if args.since else "")
+                  + "; store unchanged")
+            return 0
+        merged = base.append_rows(rows)
+        tmp = store_path.with_name(store_path.name + ".tmp")
+        merged.save(tmp)
+    finally:
+        base.close()
+    os.replace(tmp, store_path)
+    print(f"appended {len(rows)} rows to {store_path} ({merged.n_rows} rows total)")
+    if args.reload_url:
+        reply = _post_reload(args.reload_url, args.reload_name or store_path.stem)
+        snapshot = reply.get("snapshot", {})
+        print(f"reloaded snapshot {snapshot.get('name')!r} "
+              f"(fingerprint {snapshot.get('fingerprint')}, changed: {reply.get('changed')})")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.tabular.io_csv import write_csv
 
@@ -579,6 +640,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maximum responses kept in the fingerprint-keyed LRU result cache")
     serve.add_argument("--verbose", action="store_true", help="log each request to stderr")
     serve.set_defaults(func=_cmd_serve)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="append a feed batch to a .rps dataset store (and optionally reload a server)"
+    )
+    ingest.add_argument("feed", help="feed fixture: a .jsonl file or a directory of .jsonl batches")
+    ingest.add_argument("store", help=".rps dataset store to append to (replaced atomically)")
+    ingest.add_argument("--since", help="cursor value; only records sorting after it are ingested")
+    ingest.add_argument("--cursor-field", default="datum",
+                        help="record field holding the feed cursor (default: datum)")
+    ingest.add_argument("--limit", type=int, default=2000, help="feed page size")
+    ingest.add_argument("--sleep", type=float, default=0.0, help="seconds to wait between feed pages")
+    ingest.add_argument("--reload-url",
+                        help="base URL of a running `repro serve`; POST /reload there after the append")
+    ingest.add_argument("--reload-name", help="snapshot name to reload (default: the store file stem)")
+    ingest.set_defaults(func=_cmd_ingest)
 
     datasets = subparsers.add_parser("datasets", help="generate one of the built-in civic datasets as CSV")
     datasets.add_argument("name", help=f"one of {sorted(CIVIC_GENERATORS)}")

@@ -84,3 +84,18 @@ class StoreCorruptionError(StoreError):
         self.salvageable = salvageable
         hint = "; repro.recovery.salvage_store may recover it" if salvageable else ""
         super().__init__(f"store {self.path}: section {section!r}: {reason}{hint}")
+
+
+class FeedError(ReproError):
+    """A feed connector operation failed (missing fixture, exhausted retries…)."""
+
+
+class FeedTransientError(FeedError):
+    """A transient feed failure that the connector may retry.
+
+    Feed backends raise this subclass for recoverable conditions (a flaky
+    page fetch, a momentarily unavailable batch file); the connector's
+    retry loop catches exactly this class, sleeps, and tries again up to
+    its ``max_retries`` budget before giving up with a plain
+    :class:`FeedError`.
+    """

@@ -1,0 +1,46 @@
+"""Incremental ingestion: feeds, appends, and O(|delta|) refresh of derived state.
+
+Production open-data sources are feeds, not files: batches keep arriving, and
+recomputing every profile, cube and index from scratch per batch is O(n) work
+for an O(|delta|) change.  This subpackage closes that gap end to end:
+
+* :mod:`repro.feeds.readers` — chunked CSV/JSONL readers that stream a file
+  as fixed-size dataset blocks;
+* :mod:`repro.feeds.connector` — an offline, cursor-based feed connector
+  (fixture-backed, with paging, retry and sleep throttling);
+* :mod:`repro.feeds.append` — schema-checked appends whose merged datasets
+  extend the base's encoded views instead of re-encoding
+  (:func:`repro.tabular.encoded.extend_encoding`);
+* :mod:`repro.feeds.incremental` — delta maintenance of quality profiles,
+  group-by/cube aggregates and KPI scoreboards, bit-identical to the batch
+  recompute, with ``_force_full_refresh`` hatches and automatic fallback
+  where the math does not permit a fold.
+
+The ``repro ingest`` CLI ties these to the persistence and serving tiers:
+append a feed batch to a ``.rps`` store and ``POST /reload`` a running
+server, so the pipeline is feed → append → refresh → snapshot → reload.
+"""
+
+from repro.feeds.append import append_dataset, append_rows
+from repro.feeds.connector import FeedConnector, FixtureFeed
+from repro.feeds.incremental import (
+    IncrementalGroupBy,
+    IncrementalKPIBoard,
+    IncrementalProfile,
+    incremental_cube_aggregate,
+)
+from repro.feeds.readers import read_csv_chunks, read_jsonl, read_jsonl_chunks
+
+__all__ = [
+    "append_dataset",
+    "append_rows",
+    "FeedConnector",
+    "FixtureFeed",
+    "IncrementalGroupBy",
+    "IncrementalKPIBoard",
+    "IncrementalProfile",
+    "incremental_cube_aggregate",
+    "read_csv_chunks",
+    "read_jsonl",
+    "read_jsonl_chunks",
+]

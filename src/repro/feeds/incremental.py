@@ -1,0 +1,593 @@
+"""Delta maintenance of derived state: profiles, group-bys, cubes, KPI boards.
+
+A feed batch of 1k rows against a 100k-row base must not trigger 100k rows of
+recomputation.  The classes here keep just enough state to refresh derived
+results in O(len(delta)):
+
+* :class:`IncrementalGroupBy` — running per-group accumulators behind
+  :func:`repro.tabular.transforms.group_by` (and therefore behind cube
+  aggregation);
+* :class:`IncrementalProfile` — running counts behind the incrementalizable
+  quality criteria of :func:`repro.quality.profile.measure_quality`;
+* :class:`IncrementalKPIBoard` — an incremental group-by plus the grading
+  tail of :func:`repro.bi.kpi.evaluate_kpis_by_level`.
+
+Each follows the library's two-tier protocol, extended from *row vs encoded*
+to *batch vs incremental*: the batch recompute over base+delta is the
+reference tier, ``refresh(merged)`` is the delta tier, and the two must be
+**bit-identical** — float summation order included.  That shapes the state:
+
+* ``sum``/``mean`` resume the reference's left fold (Python ``sum`` over the
+  group's values in row order) by carrying the running total — continuing a
+  left fold is exactly restarting it partway, so the float sequence is the
+  reference's;
+* ``min``/``max`` fold exactly (ties keep the earlier value, as ``min`` does);
+* ``std``/``median`` are not resumable folds, so the state keeps each
+  group's full value list and recomputes only the groups the delta touched
+  (recompute-over-merged-lists);
+* quality criteria keep exact integer counts (missing cells, class
+  bincounts, duplicate-key sets) and feed them to the *same*
+  ``_build_measure`` helpers the batch tiers call.
+
+Anything that cannot be incrementalized this way — a non-numeric aggregation
+source, a criterion without a maintainable state (accuracy, correlation,
+outliers, a numeric-target balance, an explicit-schema consistency, any
+subclassed criterion) — automatically falls back to the batch recompute, and
+every class carries a ``_force_full_refresh`` escape hatch that pins the
+batch tier outright, mirroring ``_force_row_*`` elsewhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.bi.kpi import KPI
+from repro.bi.olap import Cube
+from repro.exceptions import OLAPError, ReproError, SchemaError
+from repro.quality.balance import BalanceCriterion
+from repro.quality.completeness import CompletenessCriterion
+from repro.quality.criteria import Criterion, CriterionMeasure
+from repro.quality.dimensionality import DimensionalityCriterion
+from repro.quality.duplicates import _STRING_CTYPES, DuplicationCriterion
+from repro.quality.profile import DEFAULT_CRITERIA, DataQualityProfile, get_criterion, measure_quality
+from repro.tabular.dataset import ColumnRole, ColumnType, Dataset
+from repro.tabular.encoded import EncodedDataset, encode_dataset
+from repro.tabular.transforms import _AGGREGATIONS, _hashable, group_by
+
+
+def _check_refresh_target(state_dataset: Dataset, state_rows: int, merged: Dataset) -> None:
+    """Reject refresh targets that are not an append extension of the base."""
+    if merged.column_names != state_dataset.column_names:
+        raise SchemaError(
+            f"refresh target has columns {merged.column_names}; expected {state_dataset.column_names}"
+        )
+    if merged.n_rows < state_rows:
+        raise SchemaError(
+            f"refresh target has {merged.n_rows} rows, fewer than the {state_rows} already folded in; "
+            "refresh expects the base dataset plus appended rows"
+        )
+
+
+class IncrementalGroupBy:
+    """O(len(delta)) refresh of one ``group_by`` result.
+
+    Construction validates keys and aggregations exactly like
+    :func:`~repro.tabular.transforms.group_by` and folds the base dataset
+    into per-group accumulators.  :meth:`refresh` folds only the appended
+    rows in and returns the full grouped dataset, bit-identical to
+    ``group_by(merged, keys, aggregations)``.
+
+    When any aggregation source column is non-numeric the reference tier's
+    semantics (per-cell ``float(v)`` coercion of string cells) cannot be
+    maintained as a fold, so the instance routes every call to the batch
+    ``group_by`` instead; :attr:`incremental` reports which tier is active.
+    Setting ``_force_full_refresh`` pins the batch tier on any instance.
+    """
+
+    _force_full_refresh: bool = False
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        keys: Sequence[str],
+        aggregations: Mapping[str, tuple[str, str]],
+    ) -> None:
+        """Seed the per-group folds (or pin the batch tier) from ``dataset``."""
+        keys = list(keys)
+        for key in keys:
+            if key not in dataset:
+                raise SchemaError(f"unknown group-by key {key!r}")
+        for out_name, (source, agg) in aggregations.items():
+            if source not in dataset:
+                raise SchemaError(f"aggregation {out_name!r} references unknown column {source!r}")
+            if agg not in _AGGREGATIONS:
+                raise SchemaError(f"unknown aggregation {agg!r}; choose from {sorted(_AGGREGATIONS)}")
+        self._keys = keys
+        self._aggregations = dict(aggregations)
+        self._dataset = dataset
+        self._n_rows = 0
+        self.incremental = all(dataset[source].is_numeric() for source, _ in aggregations.values())
+        if self.incremental:
+            self._rebuild_state()
+
+    def _rebuild_state(self) -> None:
+        self._groups: dict[tuple, int] = {}
+        self._key_values: list[dict[str, Any]] = []
+        self._acc: dict[str, list[Any]] = {out: [] for out in self._aggregations}
+        self._n_rows = 0
+        self._fold_rows(self._dataset, 0)
+
+    def _fold_rows(self, dataset: Dataset, start: int) -> None:
+        """Fold rows ``start:`` into the per-group accumulators, in row order."""
+        n = dataset.n_rows
+        self._n_rows = n
+        if start >= n:
+            return
+        key_lists = [dataset[k].values[start:].tolist() for k in self._keys]
+        agg_specs = []
+        for out_name, (source, agg) in self._aggregations.items():
+            agg_specs.append((self._acc[out_name], agg, dataset[source].values[start:].tolist()))
+        groups = self._groups
+        for i in range(n - start):
+            group_key = tuple(_hashable(cells[i]) for cells in key_lists)
+            group = groups.get(group_key)
+            if group is None:
+                group = len(self._key_values)
+                groups[group_key] = group
+                # The reference keeps the *raw* first-row key cells (not the
+                # hashable forms) as the group's output values.
+                first = dataset.row(start + i)
+                self._key_values.append({k: first[k] for k in self._keys})
+                for acc, agg, _ in agg_specs:
+                    if agg in ("sum", "mean"):
+                        acc.append([0, 0])  # running total (int 0 start, like sum()), count
+                    elif agg in ("min", "max"):
+                        acc.append([None])
+                    elif agg == "count":
+                        acc.append([0])
+                    else:  # std / median keep the full value list
+                        acc.append([[], None])
+            for acc, agg, cells in agg_specs:
+                value = cells[i]
+                if value != value:  # nan: the only missing form a float column holds
+                    continue
+                slot = acc[group]
+                if agg in ("sum", "mean"):
+                    slot[0] += value
+                    slot[1] += 1
+                elif agg == "min":
+                    slot[0] = value if slot[0] is None else min(slot[0], value)
+                elif agg == "max":
+                    slot[0] = value if slot[0] is None else max(slot[0], value)
+                elif agg == "count":
+                    slot[0] += 1
+                else:
+                    slot[0].append(value)
+                    slot[1] = None  # dirty: recompute lazily at result time
+
+    def _finalise(self, agg: str, slot: list[Any]) -> float:
+        """One group's aggregate from its accumulator, reference arithmetic."""
+        if agg == "count":
+            return float(slot[0])
+        if agg in ("sum", "mean"):
+            if slot[1] == 0:
+                return float("nan")
+            return float(slot[0]) if agg == "sum" else float(slot[0] / slot[1])
+        if agg in ("min", "max"):
+            return float("nan") if slot[0] is None else float(slot[0])
+        # std / median: recompute over the merged value list only when dirty.
+        if slot[1] is None:
+            slot[1] = _AGGREGATIONS[agg](slot[0]) if slot[0] else float("nan")
+        return slot[1]
+
+    def result(self) -> Dataset:
+        """The grouped dataset for the rows folded in so far."""
+        if not self.incremental:
+            return group_by(self._dataset, self._keys, self._aggregations)
+        out_rows: list[dict[str, Any]] = []
+        for group, key_values in enumerate(self._key_values):
+            row = dict(key_values)
+            for out_name, (_source, agg) in self._aggregations.items():
+                row[out_name] = self._finalise(agg, self._acc[out_name][group])
+            out_rows.append(row)
+        ctypes = {k: self._dataset[k].ctype for k in self._keys}
+        for out_name in self._aggregations:
+            ctypes[out_name] = ColumnType.NUMERIC
+        return Dataset.from_rows(out_rows, name=f"{self._dataset.name}_grouped", ctypes=ctypes)
+
+    def refresh(self, merged: Dataset) -> Dataset:
+        """Fold the appended rows of ``merged`` in and return the grouped dataset.
+
+        ``merged`` must be the base dataset (the rows already folded in)
+        followed by the appended delta — exactly what
+        :meth:`Dataset.append_rows`/:meth:`Dataset.append_dataset` return.
+        """
+        _check_refresh_target(self._dataset, self._n_rows if self.incremental else 0, merged)
+        if self._force_full_refresh or not self.incremental:
+            self._dataset = merged
+            if self.incremental:
+                self._rebuild_state()
+            return group_by(merged, self._keys, self._aggregations)
+        start = self._n_rows
+        self._dataset = merged
+        self._fold_rows(merged, start)
+        return self.result()
+
+
+def incremental_cube_aggregate(cube: Cube, levels: Sequence[str]) -> IncrementalGroupBy:
+    """An :class:`IncrementalGroupBy` maintaining ``cube.aggregate(levels)``.
+
+    ``levels`` must be non-empty (the grand-total pseudo-level of
+    ``aggregate([])`` has no delta structure worth maintaining — recompute
+    it).  A cube pinned to the row tier via ``_force_row_olap`` gets its
+    incremental board pinned to the full-refresh tier, keeping the escape
+    hatches aligned across the protocol.
+    """
+    levels = list(levels)
+    if not levels:
+        raise OLAPError("incremental cube aggregation needs at least one level")
+    board = IncrementalGroupBy(cube.dataset, levels, cube._aggregations())
+    if cube._force_row_olap:
+        board._force_full_refresh = True
+    return board
+
+
+class IncrementalKPIBoard:
+    """O(len(delta)) refresh of one per-level KPI scoreboard.
+
+    Wraps an :class:`IncrementalGroupBy` over the cube dataset's per-level
+    means and replays the grading tail of
+    :func:`repro.bi.kpi.evaluate_kpis_by_level`; :meth:`refresh` is
+    bit-identical to rebuilding the scoreboard from a cube over the merged
+    dataset.  Validation (column KPIs only, numeric sources, no column
+    collisions) matches the batch evaluator's.
+    """
+
+    _force_full_refresh: bool = False
+
+    def __init__(self, kpis: Sequence[KPI], cube: Cube, level: str) -> None:
+        """Seed per-level KPI folds from ``cube``'s dataset for ``level``."""
+        if not kpis:
+            raise ReproError("no KPIs to evaluate")
+        aggregations: dict[str, tuple[str, str]] = {}
+        out_columns = {level}
+        for kpi in kpis:
+            if callable(kpi.compute):
+                raise ReproError(
+                    f"KPI {kpi.name!r} uses a callable; per-level evaluation needs a column name"
+                )
+            if kpi.compute not in cube.dataset:
+                raise ReproError(f"KPI {kpi.name!r} references unknown column {kpi.compute!r}")
+            if not cube.dataset[kpi.compute].is_numeric():
+                raise ReproError(f"KPI {kpi.name!r} references non-numeric column {kpi.compute!r}")
+            for column in (kpi.name, f"{kpi.name}_status"):
+                if column in out_columns:
+                    raise ReproError(
+                        f"KPI {kpi.name!r} collides with the {column!r} scoreboard column; "
+                        "KPI names must be unique and differ from the level column"
+                    )
+                out_columns.add(column)
+            aggregations[kpi.name] = (kpi.compute, "mean")
+        self._kpis = list(kpis)
+        self._cube = cube
+        self._level = level
+        self._grouped = IncrementalGroupBy(cube.dataset, [level], aggregations)
+        if cube._force_row_olap:
+            self._grouped._force_full_refresh = True
+
+    def refresh(self, merged: Dataset) -> Dataset:
+        """Fold the appended rows in and return the refreshed scoreboard."""
+        if self._force_full_refresh:
+            forced_before = self._grouped._force_full_refresh
+            self._grouped._force_full_refresh = True
+            try:
+                grouped = self._grouped.refresh(merged)
+            finally:
+                self._grouped._force_full_refresh = forced_before
+        else:
+            grouped = self._grouped.refresh(merged)
+        return self._scoreboard(grouped, merged)
+
+    def result(self) -> Dataset:
+        """The scoreboard for the rows folded in so far."""
+        return self._scoreboard(self._grouped.result(), self._grouped._dataset)
+
+    def _scoreboard(self, grouped: Dataset, dataset: Dataset) -> Dataset:
+        out_rows: list[dict[str, Any]] = []
+        for row in grouped.iter_rows():
+            out: dict[str, Any] = {self._level: row[self._level]}
+            for kpi in self._kpis:
+                value = row[kpi.name]
+                out[kpi.name] = value
+                out[f"{kpi.name}_status"] = kpi.grade(float(value))
+            out_rows.append(out)
+        ctypes = {self._level: dataset[self._level].ctype}
+        for kpi in self._kpis:
+            ctypes[kpi.name] = ColumnType.NUMERIC
+            ctypes[f"{kpi.name}_status"] = ColumnType.CATEGORICAL
+        return Dataset.from_rows(
+            out_rows, name=f"{self._cube.name}_kpis_by_{self._level}", ctypes=ctypes
+        )
+
+
+# -- incremental quality criterion states -------------------------------------
+
+
+class _CompletenessState:
+    """Running per-column missing counts behind the completeness criterion."""
+
+    def __init__(self, criterion: CompletenessCriterion, dataset: Dataset, encoded: EncodedDataset) -> None:
+        """Count missing cells per assessed column over the base rows."""
+        self._criterion = criterion
+        self._counts = {
+            c.name: int(encoded.missing_view(c.name).sum())
+            for c in criterion._selected_columns(dataset)
+        }
+
+    def update(self, merged: Dataset, encoded: EncodedDataset, start: int) -> None:
+        """Add the delta rows' missing cells to the running counts."""
+        for name in self._counts:
+            self._counts[name] += int(encoded.missing_view(name)[start:].sum())
+
+    def build(self, merged: Dataset, encoded: EncodedDataset) -> CriterionMeasure:
+        """Materialise the criterion measure from the running counts."""
+        return self._criterion._build_measure(merged, dict(self._counts))
+
+
+class _DimensionalityState:
+    """Running missing-cell total over the feature columns."""
+
+    def __init__(self, criterion: DimensionalityCriterion, dataset: Dataset, encoded: EncodedDataset) -> None:
+        """Total the missing cells across the base rows' feature columns."""
+        self._criterion = criterion
+        self._features = [c.name for c in dataset.columns if c.role == ColumnRole.FEATURE]
+        self._missing = sum(int(encoded.missing_view(name).sum()) for name in self._features)
+
+    def update(self, merged: Dataset, encoded: EncodedDataset, start: int) -> None:
+        """Add the delta rows' missing feature cells to the running total."""
+        self._missing += sum(int(encoded.missing_view(name)[start:].sum()) for name in self._features)
+
+    def build(self, merged: Dataset, encoded: EncodedDataset) -> CriterionMeasure:
+        """Materialise the criterion measure from the running total."""
+        return self._criterion._build_measure(merged, len(self._features), self._missing)
+
+
+class _BalanceState:
+    """Running class bincounts per assessed column behind the balance criterion."""
+
+    def __init__(self, criterion: BalanceCriterion, dataset: Dataset, encoded: EncodedDataset) -> None:
+        """Build class-count tables for every assessable column of the base."""
+        self._criterion = criterion
+        if dataset.has_target():
+            self._candidates = None
+            self._tracked = [dataset.target_column().name]
+        else:
+            self._candidates = [c.name for c in dataset.feature_columns() if not c.is_numeric()]
+            self._tracked = list(self._candidates)
+        self._counts = {
+            name: BalanceCriterion._encoded_counts(encoded, name) for name in self._tracked
+        }
+
+    def update(self, merged: Dataset, encoded: EncodedDataset, start: int) -> None:
+        """Fold the delta rows' class codes into the running count tables."""
+        for name in self._tracked:
+            codes, vocabulary, _ = encoded.codes_view(name)
+            delta_codes = codes[start:]
+            present = delta_codes[delta_codes >= 0]
+            if present.size == 0:
+                continue
+            bincount = np.bincount(present, minlength=len(vocabulary))
+            counts = self._counts[name]
+            # New levels land at the end of the extended vocabulary, so
+            # walking the nonzero codes in ascending order appends them in
+            # exactly the first-seen order a fresh ``_encoded_counts`` of the
+            # merged column would use.
+            for code in np.flatnonzero(bincount).tolist():
+                level = vocabulary[code]
+                counts[level] = counts.get(level, 0) + int(bincount[code])
+
+    def build(self, merged: Dataset, encoded: EncodedDataset) -> CriterionMeasure:
+        """Choose the least-balanced column and materialise its measure."""
+        criterion = self._criterion
+        if self._candidates is None:
+            column = merged.target_column()
+            return criterion._build_measure(column, self._counts[column.name])
+        if not self._candidates:
+            return CriterionMeasure(criterion.name, 1.0, {"note": "no discrete column to assess"})
+        chosen = min(
+            self._candidates, key=lambda name: criterion._normalised_entropy(self._counts[name])
+        )
+        return criterion._build_measure(merged[chosen], self._counts[chosen])
+
+
+class _DuplicationState:
+    """Persisted seen-key sets and duplicate counters behind the duplication criterion.
+
+    Keys are built from the encoded views, one vectorized pass per column
+    (mirroring the criterion's encoded tier, whose partitioning the row-path
+    equivalence suite already pins): numeric cells by ``np.round(v, 6)``
+    (elementwise identical to the row path's ``round(value, 6)``), discrete
+    cells by their append-stable vocabulary level, fuzzy keys by the
+    per-*level* normalised form.  Every representation is value-based — never
+    a dataset-relative code — so keys from earlier folds stay comparable as
+    the vocabulary grows.
+    """
+
+    def __init__(self, criterion: DuplicationCriterion, dataset: Dataset, encoded: EncodedDataset) -> None:
+        """Fold every base row's keys into the seen-sets and counters."""
+        self._criterion = criterion
+        self._columns = criterion._key_columns(dataset)
+        self._exact_seen: set[tuple] = set()
+        self._fuzzy_seen: set[tuple] = set()
+        self._exact_duplicates = 0
+        self._fuzzy_duplicates = 0
+        self._fold(dataset, encoded, 0)
+
+    @staticmethod
+    def _numeric_key_cells(encoded: EncodedDataset, name: str, start: int) -> list:
+        values, missing = encoded.numeric_view(name)
+        cells = np.round(values[start:], 6).tolist()
+        for i in np.flatnonzero(missing[start:]).tolist():
+            cells[i] = "<missing>"
+        return cells
+
+    def _fold(self, dataset: Dataset, encoded: EncodedDataset, start: int) -> None:
+        if start >= dataset.n_rows:
+            return
+        fuzzy = self._criterion.fuzzy
+        exact_cols: list[list] = []
+        fuzzy_cols: list[list] = []
+        for name in self._columns:
+            column = dataset[name]
+            if column.is_numeric():
+                cells = self._numeric_key_cells(encoded, name, start)
+                exact_cols.append(cells)
+                if fuzzy:
+                    fuzzy_cols.append(cells)
+                continue
+            codes, vocabulary, _ = encoded.codes_view(name)
+            # Missing cells share the literal "<missing>" key with any real
+            # cell holding that text, deliberately matching the row path.
+            exact_cols.append(
+                ["<missing>" if c < 0 else vocabulary[c] for c in codes[start:].tolist()]
+            )
+            if not fuzzy:
+                continue
+            if column.ctype in _STRING_CTYPES:
+                n_codes, levels = encoded.normalised_codes_view(name)
+                fuzzy_cols.append(
+                    ["<missing>" if c < 0 else levels[c] for c in n_codes[start:].tolist()]
+                )
+            else:
+                fuzzy_cols.append(exact_cols[-1])
+        exact_seen = self._exact_seen
+        for key in zip(*exact_cols):
+            if key in exact_seen:
+                self._exact_duplicates += 1
+            else:
+                exact_seen.add(key)
+        if fuzzy:
+            fuzzy_seen = self._fuzzy_seen
+            for key in zip(*fuzzy_cols):
+                if key in fuzzy_seen:
+                    self._fuzzy_duplicates += 1
+                else:
+                    fuzzy_seen.add(key)
+
+    def update(self, merged: Dataset, encoded: EncodedDataset, start: int) -> None:
+        """Fold the delta rows' keys into the seen-sets and counters."""
+        self._fold(merged, encoded, start)
+
+    def build(self, merged: Dataset, encoded: EncodedDataset) -> CriterionMeasure:
+        """Materialise the criterion measure from the duplicate counters."""
+        return self._criterion._build_measure(
+            merged.n_rows, self._exact_duplicates, self._fuzzy_duplicates
+        )
+
+
+def _build_criterion_state(
+    criterion: Criterion, dataset: Dataset, encoded: EncodedDataset
+) -> Any | None:
+    """A delta-maintainable state for ``criterion``, or ``None`` to fall back.
+
+    Mirrors the ``_uses_reference_measure`` guard of the encoded tier: only
+    the exact library classes (not subclasses, which may override
+    ``measure``) with their reference implementation intact get a state, and
+    an instance pinned to the row tier via ``_force_row_measure`` falls back
+    too, so the profile stays bit-identical to ``measure_quality`` in every
+    configuration.
+    """
+    if criterion._force_row_measure:
+        return None
+    if type(criterion) is CompletenessCriterion:
+        return _CompletenessState(criterion, dataset, encoded)
+    if type(criterion) is DimensionalityCriterion:
+        return _DimensionalityState(criterion, dataset, encoded)
+    if type(criterion) is BalanceCriterion:
+        if dataset.has_target() and dataset.target_column().is_numeric():
+            return None  # the batch tiers route numeric targets to the row path
+        return _BalanceState(criterion, dataset, encoded)
+    if type(criterion) is DuplicationCriterion:
+        return _DuplicationState(criterion, dataset, encoded)
+    return None
+
+
+class IncrementalProfile:
+    """O(len(delta)) refresh of a data quality profile.
+
+    Construction measures the base dataset once and keeps running state for
+    every criterion whose mathematics permit it (completeness,
+    dimensionality, duplication, and balance over discrete columns — see
+    :attr:`incremental_criteria`).  :meth:`refresh` updates those states from
+    the appended rows only, recomputes the rest over the merged dataset's
+    (extended) encoded views, and returns a profile bit-identical to
+    ``measure_quality(merged, criteria)``.  Setting ``_force_full_refresh``
+    pins every criterion to the batch recompute.
+    """
+
+    _force_full_refresh: bool = False
+
+    def __init__(self, dataset: Dataset, criteria: Sequence[str | Criterion] | None = None) -> None:
+        """Resolve ``criteria`` and seed a running state per incrementalizable one."""
+        selected: list[Criterion] = []
+        for item in criteria if criteria is not None else DEFAULT_CRITERIA:
+            selected.append(item if isinstance(item, Criterion) else get_criterion(str(item)))
+        self._criteria = selected
+        self._dataset = dataset
+        self._n_rows = dataset.n_rows
+        self._build_states()
+
+    def _build_states(self) -> None:
+        encoded = encode_dataset(self._dataset)
+        self._states = [
+            _build_criterion_state(criterion, self._dataset, encoded) for criterion in self._criteria
+        ]
+
+    @property
+    def incremental_criteria(self) -> list[str]:
+        """Names of the criteria maintained by delta state."""
+        return [c.name for c, s in zip(self._criteria, self._states) if s is not None]
+
+    @property
+    def fallback_criteria(self) -> list[str]:
+        """Names of the criteria recomputed over the merged views at each refresh."""
+        return [c.name for c, s in zip(self._criteria, self._states) if s is None]
+
+    def _assemble(self, merged: Dataset, measures: Sequence[CriterionMeasure]) -> DataQualityProfile:
+        profile = DataQualityProfile(dataset_name=merged.name)
+        for criterion, measure in zip(self._criteria, measures):
+            profile.measures[criterion.name] = measure
+        return profile
+
+    def profile(self) -> DataQualityProfile:
+        """The profile of the rows folded in so far."""
+        encoded = encode_dataset(self._dataset)
+        measures = [
+            criterion.measure_encoded(encoded) if state is None else state.build(self._dataset, encoded)
+            for criterion, state in zip(self._criteria, self._states)
+        ]
+        return self._assemble(self._dataset, measures)
+
+    def refresh(self, merged: Dataset) -> DataQualityProfile:
+        """Fold the appended rows of ``merged`` in and return the refreshed profile."""
+        _check_refresh_target(self._dataset, self._n_rows, merged)
+        if self._force_full_refresh:
+            self._dataset = merged
+            self._n_rows = merged.n_rows
+            self._build_states()
+            return measure_quality(merged, self._criteria)
+        start = self._n_rows
+        encoded = encode_dataset(merged)
+        measures: list[CriterionMeasure] = []
+        for criterion, state in zip(self._criteria, self._states):
+            if state is None:
+                measures.append(criterion.measure_encoded(encoded))
+            else:
+                state.update(merged, encoded, start)
+                measures.append(state.build(merged, encoded))
+        self._dataset = merged
+        self._n_rows = merged.n_rows
+        return self._assemble(merged, measures)

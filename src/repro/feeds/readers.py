@@ -1,0 +1,257 @@
+"""Chunked/streaming readers: CSV and JSONL files as fixed-size dataset blocks.
+
+Feeds deliver data in batches, and a batch may be far larger than the chunk a
+caller wants to append and refresh in one step.  These readers stream a file
+from disk and yield :class:`~repro.tabular.dataset.Dataset` blocks of at most
+``chunk_rows`` rows each, without ever materialising the whole file's records
+in memory.  Cell normalisation and error behaviour mirror the strict
+whole-file readers: the CSV reader shares the quote-aware delimiter sniffer
+(:func:`repro.tabular.sniff.sniff_delimiter`) and the missing-token mapping
+of :mod:`repro.tabular.io_csv`, so reading a file in chunks and concatenating
+the blocks reproduces ``read_csv`` of the same file bit for bit.
+
+Column types are inferred from the first chunk and pinned for the rest of the
+stream (pass explicit ``ctypes`` to override), so every yielded block is
+schema-compatible with the first and can be fed straight into
+:func:`repro.feeds.append.append_dataset`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterator, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import SchemaError
+from repro.tabular.dataset import Dataset
+from repro.tabular.io_csv import _normalise_cell
+from repro.tabular.sniff import sniff_delimiter
+
+
+def _normalise_record_cell(value: Any, line_number: int, key: str) -> Any:
+    """Normalise one JSONL cell: map missing tokens in strings, reject nesting."""
+    if isinstance(value, (dict, list)):
+        raise SchemaError(
+            f"line {line_number}: column {key!r} holds a nested {type(value).__name__}; "
+            "feed records must be flat JSON objects"
+        )
+    if isinstance(value, str):
+        return _normalise_cell(value)
+    return value
+
+
+class _ChunkBuilder:
+    """Accumulate row dicts and build schema-pinned dataset blocks.
+
+    The first flushed chunk fixes the column types (unless explicit
+    ``ctypes`` pinned them up front); later chunks are coerced against that
+    schema so all yielded blocks are mutually appendable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        column_order: Sequence[str],
+        ctypes: Mapping[str, str] | None,
+        roles: Mapping[str, str] | None,
+    ) -> None:
+        """Remember the chunk schema hints; types pin on the first flush."""
+        self.name = name
+        self.column_order = list(column_order)
+        self.ctypes = dict(ctypes) if ctypes else None
+        self.roles = dict(roles) if roles else None
+        self.records: list[dict[str, Any]] = []
+
+    def flush(self) -> Dataset:
+        """Build a dataset block from the buffered records and reset the buffer."""
+        try:
+            block = Dataset.from_rows(
+                self.records,
+                name=self.name,
+                ctypes=self.ctypes,
+                roles=self.roles,
+                column_order=self.column_order,
+            )
+        except SchemaError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"chunk of {self.name!r} does not match the first chunk's column types: {exc}"
+            ) from exc
+        if self.ctypes is None:
+            self.ctypes = {column.name: column.ctype for column in block.columns}
+        self.records = []
+        return block
+
+
+def read_csv_chunks(
+    path: str | Path,
+    chunk_rows: int = 2000,
+    name: str | None = None,
+    delimiter: str | None = None,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+    encoding: str = "utf-8",
+) -> Iterator[Dataset]:
+    """Stream a CSV file as dataset blocks of at most ``chunk_rows`` rows.
+
+    Semantics match :func:`repro.tabular.io_csv.read_csv` exactly — same
+    delimiter sniffing, missing-token normalisation, blank-row skipping,
+    short-row padding and over-long-row rejection — except that the rows
+    arrive as a sequence of blocks instead of one dataset.  Concatenating
+    the blocks reproduces ``read_csv`` of the same file bit for bit whenever
+    the first chunk infers the same column types the whole file would (pass
+    explicit ``ctypes`` to pin them when in doubt).
+    """
+    if chunk_rows < 1:
+        raise SchemaError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    path = Path(path)
+    with open(path, "r", encoding=encoding, newline="") as handle:
+        sample = handle.read(4096)
+        if not sample.strip():
+            raise SchemaError("empty CSV content")
+        if delimiter is None:
+            delimiter = sniff_delimiter(sample)
+        handle.seek(0)
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header_raw = next(reader)
+        except StopIteration:  # pragma: no cover - non-empty sample implies a line
+            raise SchemaError("empty CSV content") from None
+        header = [h.strip() for h in header_raw]
+        if len(set(header)) != len(header):
+            raise SchemaError(f"duplicate column names in CSV header: {header}")
+        builder = _ChunkBuilder(name or path.stem, header, ctypes, roles)
+        yielded = False
+        row_number = 1
+        while True:
+            try:
+                raw = next(reader)
+            except StopIteration:
+                break
+            except csv.Error as exc:
+                raise SchemaError(
+                    f"malformed CSV near line {reader.line_num}: {exc} "
+                    "(use repro.recovery.salvage_csv to repair damaged files)"
+                ) from exc
+            row_number += 1
+            if not raw or all(not cell.strip() for cell in raw):
+                continue
+            if len(raw) > len(header):
+                raise SchemaError(
+                    f"row {row_number} has {len(raw)} cells but the header has {len(header)}: "
+                    f"{raw!r} (use repro.recovery.salvage_csv to repair ragged files)"
+                )
+            padded = list(raw) + [None] * (len(header) - len(raw))
+            builder.records.append({h: _normalise_cell(c) for h, c in zip(header, padded)})
+            if len(builder.records) == chunk_rows:
+                yield builder.flush()
+                yielded = True
+        if builder.records:
+            yield builder.flush()
+            yielded = True
+        if not yielded:
+            if row_number < 2:
+                raise SchemaError("CSV must contain a header row and at least one data row")
+            raise SchemaError("CSV contains a header but no data rows")
+
+
+def read_jsonl_chunks(
+    path: str | Path,
+    chunk_rows: int = 2000,
+    name: str | None = None,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+    column_order: Sequence[str] | None = None,
+    encoding: str = "utf-8",
+) -> Iterator[Dataset]:
+    """Stream a JSON-lines file as dataset blocks of at most ``chunk_rows`` rows.
+
+    Each non-blank line must hold one flat JSON object; parse failures,
+    non-object lines and nested values raise :class:`SchemaError` with the
+    offending line number.  String cells pass through the same missing-token
+    normalisation as the CSV readers.  The column set is fixed by
+    ``column_order`` when given, otherwise by first-seen order across the
+    first chunk — a key appearing only in a later chunk is an error, so all
+    yielded blocks share one schema.
+    """
+    if chunk_rows < 1:
+        raise SchemaError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    path = Path(path)
+    order = list(column_order) if column_order is not None else None
+    known = set(order) if order is not None else None
+    builder: _ChunkBuilder | None = None
+    yielded = False
+    with open(path, "r", encoding=encoding, newline="") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"malformed JSON on line {line_number} of {path}: {exc}") from exc
+            if not isinstance(record, dict):
+                raise SchemaError(
+                    f"line {line_number} of {path} holds a JSON {type(record).__name__}, "
+                    "not an object"
+                )
+            record = {
+                key: _normalise_record_cell(value, line_number, key)
+                for key, value in record.items()
+            }
+            if known is not None:
+                unknown = [key for key in record if key not in known]
+                if unknown:
+                    raise SchemaError(
+                        f"line {line_number} of {path}: unknown column(s) {unknown}; "
+                        f"expected a subset of {order}"
+                    )
+            if builder is None:
+                builder = _ChunkBuilder(name or path.stem, order or [], ctypes, roles)
+            builder.records.append(record)
+            if len(builder.records) == chunk_rows:
+                if known is None:
+                    order = _first_seen_order(builder.records)
+                    known = set(order)
+                    builder.column_order = order
+                yield builder.flush()
+                yielded = True
+        if builder is not None and builder.records:
+            if known is None:
+                order = _first_seen_order(builder.records)
+                known = set(order)
+                builder.column_order = order
+            yield builder.flush()
+            yielded = True
+    if not yielded:
+        raise SchemaError(f"{path} contains no records")
+
+
+def _first_seen_order(records: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Column order as first seen across ``records`` (the ``from_rows`` default)."""
+    order: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in order:
+                order.append(key)
+    return order
+
+
+def read_jsonl(
+    path: str | Path,
+    name: str | None = None,
+    ctypes: Mapping[str, str] | None = None,
+    roles: Mapping[str, str] | None = None,
+    column_order: Sequence[str] | None = None,
+    encoding: str = "utf-8",
+) -> Dataset:
+    """Read a whole JSON-lines file into one dataset (chunked under the hood)."""
+    combined: Dataset | None = None
+    for block in read_jsonl_chunks(
+        path, name=name, ctypes=ctypes, roles=roles, column_order=column_order, encoding=encoding
+    ):
+        combined = block if combined is None else combined.concat(block)
+    assert combined is not None  # read_jsonl_chunks raises on empty input
+    return combined

@@ -58,7 +58,8 @@ from repro.recovery.provenance import (
     provenance_counts,
 )
 from repro.tabular.dataset import ColumnType, Dataset
-from repro.tabular.io_csv import _normalise_cell, _sniff_delimiter, read_csv_text
+from repro.tabular.io_csv import _normalise_cell, read_csv_text
+from repro.tabular.sniff import sniff_delimiter
 
 
 class SalvageResult(NamedTuple):
@@ -219,7 +220,7 @@ def salvage_csv_text(
     if not text.strip():
         raise SchemaError("empty CSV content")
     if delimiter is None:
-        delimiter = _sniff_delimiter(text)
+        delimiter = sniff_delimiter(text)
 
     stream = _RecordingLines(text)
     reader = csv.reader(stream, delimiter=delimiter)

@@ -629,10 +629,18 @@ class Dataset:
         return self.take(indices)
 
     def concat(self, other: "Dataset") -> "Dataset":
-        """Append the rows of ``other`` (same columns required) to this dataset."""
+        """Append the rows of ``other`` (same columns required) to this dataset.
+
+        When every column pair shares a ctype and this dataset already carries
+        encoded views, the result's encoding is seeded by extending those views
+        with ``other``'s encoded block (vocabulary-stable code extension, see
+        :func:`repro.tabular.encoded.extend_encoding`) — bit-identical to a
+        cold encode of the concatenation, without re-encoding existing rows.
+        """
         if self.column_names != other.column_names:
             raise SchemaError("cannot concatenate datasets with different columns")
         columns = []
+        same_ctypes = True
         for col in self.columns:
             other_col = other[col.name]
             if other_col.ctype == col.ctype:
@@ -644,12 +652,50 @@ class Dataset:
                 merged.ctype = col.ctype
                 merged.role = col.role
                 merged._values = np.concatenate([col.values, other_col.values])
-                merged._missing_cache = None
+                if not col.is_numeric() and col._missing_cache is not None:
+                    merged._missing_cache = np.concatenate(
+                        [col._missing_cache, other_col.missing_mask()]
+                    )
+                else:
+                    merged._missing_cache = None
                 columns.append(merged)
             else:
+                same_ctypes = False
                 values = col.tolist() + other_col.tolist()
                 columns.append(Column(col.name, values, ctype=col.ctype, role=col.role))
-        return Dataset(columns, name=self.name)
+        result = Dataset(columns, name=self.name)
+        if same_ctypes:
+            from repro.tabular.encoded import _CACHE_ATTR, encode_dataset, extend_encoding
+
+            base_encoded = getattr(self, _CACHE_ATTR, None)
+            if base_encoded is not None and base_encoded.dataset is self:
+                extend_encoding(base_encoded, encode_dataset(other), result)
+        return result
+
+    def append_rows(self, rows: Sequence[dict[str, Any]], name: str | None = None) -> "Dataset":
+        """Append row dictionaries, keeping this dataset's schema and encodings.
+
+        The rows are coerced against this dataset's column types and roles
+        (unknown keys or uncoercible cells raise
+        :class:`~repro.exceptions.SchemaError`), then appended via
+        :meth:`append_dataset` — so existing encoded views are extended, not
+        recomputed.  An empty ``rows`` returns this dataset unchanged.
+        """
+        from repro.feeds import append_rows
+
+        return append_rows(self, rows, name=name)
+
+    def append_dataset(self, delta: "Dataset", name: str | None = None) -> "Dataset":
+        """Append a schema-compatible delta dataset, extending cached encodings.
+
+        ``delta`` must have the same column names and ctypes (roles follow
+        this dataset).  Returns the merged dataset; when this dataset is
+        already encoded the merged views are seeded in O(len(delta)) and stay
+        bit-identical to a cold re-encode.
+        """
+        from repro.feeds import append_dataset
+
+        return append_dataset(self, delta, name=name)
 
     def copy(self, name: str | None = None) -> "Dataset":
         """Return a deep copy (values included) of the dataset."""

@@ -417,3 +417,56 @@ def encode_dataset(dataset: Dataset) -> EncodedDataset:
     except AttributeError:  # pragma: no cover - datasets are plain objects
         pass
     return encoded
+
+
+def extend_encoding(base: EncodedDataset, delta: EncodedDataset, merged: Dataset) -> EncodedDataset:
+    """Seed ``merged``'s encoding by extending ``base``'s cached views with ``delta``'s.
+
+    ``merged`` must be the row-wise concatenation of ``base.dataset`` followed
+    by ``delta.dataset`` (same columns, same ctypes).  This is the
+    *vocabulary-stable code extension* at the heart of the incremental tier:
+    every view already cached on ``base`` is carried over and grown by the
+    delta's encoded block, so appending never re-encodes old rows —
+
+    * numeric views concatenate the two ``(values, missing)`` pairs;
+    * categorical views keep the base vocabulary and codes untouched, remap
+      the delta's codes through ``index.setdefault`` in delta-vocabulary
+      order (which is exactly the first-seen order a cold encode of the
+      merged column would assign) and append only the genuinely new levels;
+    * normalised-level caches grow by normalising only those new levels.
+
+    Views *not* cached on ``base`` stay lazy and cold on the result; the
+    per-column group-code and composite group-key caches are never carried
+    over because ``np.unique``-based numeric group codes are not stable under
+    append.  Bit-identity with a cold encode of ``merged`` holds by
+    construction for everything that is seeded.  The seeded encoding is
+    attached to ``merged`` and returned.
+    """
+    encoded = EncodedDataset(merged)
+    for name, (values, missing) in base._numeric.items():
+        d_values, d_missing = delta.numeric_view(name)
+        encoded._numeric[name] = (
+            np.concatenate([values, d_values]),
+            np.concatenate([missing, d_missing]),
+        )
+    for name, (codes, vocabulary, index) in base._categorical.items():
+        d_codes, d_vocab, _ = delta.codes_view(name)
+        new_index = dict(index)
+        if d_vocab:
+            remap = np.empty(len(d_vocab), dtype=np.int64)
+            for j, level in enumerate(d_vocab):
+                remap[j] = new_index.setdefault(level, len(new_index))
+            d_codes = np.where(d_codes >= 0, remap[np.clip(d_codes, 0, None)], -1)
+        encoded._categorical[name] = (
+            np.concatenate([codes, d_codes]),
+            list(new_index),
+            new_index,
+        )
+        base_levels = base._normalised.get(name)
+        if base_levels is not None:
+            from repro.lod.linker import normalise_string
+
+            new_levels = list(new_index)[len(vocabulary):]
+            encoded._normalised[name] = base_levels + [normalise_string(level) for level in new_levels]
+    setattr(merged, _CACHE_ATTR, encoded)
+    return encoded

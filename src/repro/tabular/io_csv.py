@@ -15,6 +15,12 @@ from pathlib import Path
 
 from repro.exceptions import SchemaError
 from repro.tabular.dataset import Dataset, MISSING_TOKENS, is_missing_value
+from repro.tabular.sniff import sniff_delimiter
+
+# Compatibility alias: the sniffer grew up in this module before the salvage
+# tier and the chunked feed reader needed it too; it now lives in
+# repro.tabular.sniff and existing imports keep working through this name.
+_sniff_delimiter = sniff_delimiter
 
 
 def _normalise_cell(cell: str | None) -> str | None:
@@ -25,46 +31,6 @@ def _normalise_cell(cell: str | None) -> str | None:
     if text.lower() in MISSING_TOKENS:
         return None
     return text
-
-
-def _count_outside_quotes(line: str, char: str) -> int:
-    """Count occurrences of ``char`` in ``line`` that sit outside quoted runs.
-
-    Quoting follows the CSV convention: a ``"`` toggles the quoted state and a
-    doubled ``""`` inside a quoted run is an escaped literal quote (which does
-    not toggle).  A header such as ``"a,b";c`` therefore counts zero commas
-    and one semicolon.
-    """
-    count = 0
-    in_quotes = False
-    i = 0
-    n = len(line)
-    while i < n:
-        c = line[i]
-        if c == '"':
-            if in_quotes and i + 1 < n and line[i + 1] == '"':
-                i += 2
-                continue
-            in_quotes = not in_quotes
-        elif c == char and not in_quotes:
-            count += 1
-        i += 1
-    return count
-
-
-def _sniff_delimiter(text: str, default: str = ",") -> str:
-    """Guess the delimiter of ``text`` among comma, semicolon, tab and pipe.
-
-    Only delimiters *outside* quoted fields count, so a quoted header cell
-    that itself contains a candidate delimiter (``"a,b";c``) cannot win the
-    vote for the wrong character.
-    """
-    sample = text[:4096]
-    candidates = [",", ";", "\t", "|"]
-    header = sample.splitlines()[0] if sample.splitlines() else ""
-    counts = {d: _count_outside_quotes(header, d) for d in candidates}
-    best = max(counts, key=counts.get)
-    return best if counts[best] > 0 else default
 
 
 def read_csv_text(

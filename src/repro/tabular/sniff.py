@@ -1,0 +1,51 @@
+"""Quote-aware delimiter sniffing shared by every CSV reader.
+
+The strict reader (:mod:`repro.tabular.io_csv`), the salvage tier
+(:mod:`repro.recovery.salvage_csv`) and the chunked feed reader
+(:mod:`repro.feeds.readers`) all face the same problem: open-data portals
+publish CSV with commas, semicolons, tabs or pipes, and the delimiter has to
+be guessed from the header before parsing.  This module holds the single
+implementation of that guess so the three readers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+
+def _count_outside_quotes(line: str, char: str) -> int:
+    """Count occurrences of ``char`` in ``line`` that sit outside quoted runs.
+
+    Quoting follows the CSV convention: a ``"`` toggles the quoted state and a
+    doubled ``""`` inside a quoted run is an escaped literal quote (which does
+    not toggle).  A header such as ``"a,b";c`` therefore counts zero commas
+    and one semicolon.
+    """
+    count = 0
+    in_quotes = False
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == '"':
+            if in_quotes and i + 1 < n and line[i + 1] == '"':
+                i += 2
+                continue
+            in_quotes = not in_quotes
+        elif c == char and not in_quotes:
+            count += 1
+        i += 1
+    return count
+
+
+def sniff_delimiter(text: str, default: str = ",") -> str:
+    """Guess the delimiter of ``text`` among comma, semicolon, tab and pipe.
+
+    Only delimiters *outside* quoted fields count, so a quoted header cell
+    that itself contains a candidate delimiter (``"a,b";c``) cannot win the
+    vote for the wrong character.
+    """
+    sample = text[:4096]
+    candidates = [",", ";", "\t", "|"]
+    header = sample.splitlines()[0] if sample.splitlines() else ""
+    counts = {d: _count_outside_quotes(header, d) for d in candidates}
+    best = max(counts, key=counts.get)
+    return best if counts[best] > 0 else default

@@ -329,6 +329,47 @@ class TestStoreCommandErrors:
         assert "does not exist" in capsys.readouterr().err
 
 
+class TestIngestCommandErrors:
+    @pytest.fixture()
+    def ingest_store(self, tmp_path):
+        from repro.tabular.dataset import Dataset
+
+        path = tmp_path / "requests.rps"
+        Dataset.from_rows(
+            [{"city": "Paris", "pop": 2148000.0}, {"city": "Lyon", "pop": 516000.0}],
+            name="requests",
+        ).save(path)
+        return path
+
+    @pytest.fixture()
+    def ingest_feed(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"city": "Nice", "pop": 342000}\n', encoding="utf-8")
+        return path
+
+    def test_missing_feed_fixture_is_an_error(self, ingest_store, tmp_path, capsys):
+        assert main(["ingest", str(tmp_path / "nope"), str(ingest_store)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_missing_store_is_an_error(self, ingest_feed, tmp_path, capsys):
+        assert main(["ingest", str(ingest_feed), str(tmp_path / "nope.rps")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unreachable_reload_url_is_an_error(self, ingest_feed, ingest_store, capsys):
+        code = main(
+            ["ingest", str(ingest_feed), str(ingest_store), "--reload-url", "http://127.0.0.1:1"]
+        )
+        assert code == 2
+        assert "cannot reach the server" in capsys.readouterr().err
+
+    def test_schema_incompatible_delta_is_an_error(self, ingest_store, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"citta": "Roma"}\n', encoding="utf-8")
+        assert main(["ingest", str(bad), str(ingest_store)]) == 2
+        err = capsys.readouterr().err
+        assert "schema-incompatible" in err and "citta" in err
+
+
 class TestServeCommand:
     @pytest.fixture(scope="class")
     def store_path(self, tmp_path_factory):

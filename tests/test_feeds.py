@@ -1,0 +1,862 @@
+"""Batch-vs-incremental equivalence harness for the ingestion tier (repro.feeds).
+
+The incremental tier extends the library's two-tier protocol from *row vs
+encoded* to *batch vs incremental*: the batch recompute over base+delta is
+the reference, ``refresh(merged)`` is the delta tier, and the two must be
+**bit-identical** — float bits, row order, column order, vocabulary order.
+This harness pins that contract for appends (extended encodings vs cold
+encodes), group-bys/cubes/KPI boards, quality profiles, the columnar triple
+index, the chunked readers and feed connector, and the ``repro ingest`` CLI
+end to end against a live server.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.bi import KPI, Cube, Dimension, Measure, evaluate_kpis_by_level
+from repro.exceptions import FeedError, FeedTransientError, LODError, OLAPError, ReproError, SchemaError
+from repro.feeds import (
+    FeedConnector,
+    FixtureFeed,
+    IncrementalGroupBy,
+    IncrementalKPIBoard,
+    IncrementalProfile,
+    append_dataset,
+    append_rows,
+    incremental_cube_aggregate,
+    read_csv_chunks,
+    read_jsonl,
+    read_jsonl_chunks,
+)
+import repro.feeds.incremental as incremental_module
+from repro.quality import measure_quality
+from repro.quality.completeness import CompletenessCriterion
+from repro.tabular import read_csv, write_csv
+from repro.tabular.dataset import ColumnType, Dataset
+from repro.tabular.encoded import _CACHE_ATTR, encode_dataset
+from repro.tabular.transforms import group_by
+
+AGGREGATIONS = ("sum", "mean", "min", "max", "count", "std", "median")
+
+
+# ---------------------------------------------------------------------------
+# Comparison helpers
+# ---------------------------------------------------------------------------
+
+def _bits(value):
+    """A bit-exact comparison key: floats by their IEEE-754 bytes."""
+    if isinstance(value, float):
+        return ("float", struct.pack("<d", value))
+    return (type(value).__name__, value)
+
+
+def _assert_identical_datasets(a: Dataset, b: Dataset):
+    """Exact equality: column names/order, ctypes, row order, float bits."""
+    assert a.column_names == b.column_names, f"column order {a.column_names} != {b.column_names}"
+    assert a.n_rows == b.n_rows, f"row count {a.n_rows} != {b.n_rows}"
+    for name in a.column_names:
+        ca, cb = a[name], b[name]
+        assert ca.ctype == cb.ctype, f"{name}: ctype {ca.ctype} != {cb.ctype}"
+        for i, (x, y) in enumerate(zip(ca.tolist(), cb.tolist())):
+            assert _bits(x) == _bits(y), f"{name}[{i}]: {x!r} != {y!r}"
+
+
+def _assert_identical_profiles(a, b):
+    """Profiles compared through their canonical JSON form (float-exact repr)."""
+    assert json.dumps(a.to_json_dict(), sort_keys=True) == json.dumps(b.to_json_dict(), sort_keys=True)
+
+
+def _assert_identical_encodings(merged: Dataset, reference: Dataset):
+    """The merged dataset's cached views equal a cold encode, bit for bit."""
+    seeded = getattr(merged, _CACHE_ATTR, None)
+    assert seeded is not None and seeded.dataset is merged
+    cold = encode_dataset(reference)
+    for column in merged.columns:
+        if column.is_numeric():
+            values, missing = seeded.numeric_view(column.name)
+            c_values, c_missing = cold.numeric_view(column.name)
+            assert np.array_equal(values, c_values, equal_nan=True)
+            assert np.array_equal(missing, c_missing)
+        else:
+            codes, vocabulary, index = seeded.codes_view(column.name)
+            c_codes, c_vocab, c_index = cold.codes_view(column.name)
+            assert vocabulary == c_vocab
+            assert index == c_index
+            assert np.array_equal(codes, c_codes)
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+def _base_rows(n: int, seed: int = 0, categories=("a", "b", "c")) -> list[dict]:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "region": None if rng.random() < 0.05 else str(rng.choice(list(categories))),
+                "year": int(2020 + i % 3),
+                "amount": None if rng.random() < 0.08 else float(np.round(rng.normal(100, 30), 3)),
+                "score": float(np.round(rng.random(), 6)),
+            }
+        )
+    return rows
+
+
+def _base_dataset(n: int = 200, seed: int = 0, name: str = "budget") -> Dataset:
+    return Dataset.from_rows(_base_rows(n, seed=seed), name=name)
+
+
+def _delta_rows(n: int, seed: int = 99) -> list[dict]:
+    # New category level, some all-missing cells, to stress vocabulary extension.
+    rows = _base_rows(n, seed=seed, categories=("b", "dNEW", "a"))
+    if rows:
+        rows[0]["amount"] = None
+        rows[0]["region"] = None
+    return rows
+
+
+def _cold(dataset: Dataset) -> Dataset:
+    """A structurally identical dataset with no cached encoding (cold copy)."""
+    clone = Dataset.from_rows(
+        list(dataset.iter_rows()),
+        name=dataset.name,
+        ctypes={c.name: c.ctype for c in dataset.columns},
+        roles={c.name: c.role for c in dataset.columns},
+        column_order=dataset.column_names,
+    )
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Appends and encoded-view extension
+# ---------------------------------------------------------------------------
+
+class TestAppend:
+    def test_append_rows_matches_cold_encode(self):
+        base = _base_dataset(150)
+        encode_dataset(base)
+        merged = append_rows(base, _delta_rows(40))
+        assert merged.n_rows == 190
+        _assert_identical_encodings(merged, _cold(merged))
+
+    def test_append_dataset_extends_instead_of_reencoding(self, monkeypatch):
+        base = _base_dataset(120)
+        base_encoded = encode_dataset(base)
+        for column in base.columns:  # materialise the views the append must extend
+            if column.is_numeric():
+                base_encoded.numeric_view(column.name)
+            else:
+                base_encoded.codes_view(column.name)
+        delta = Dataset.from_rows(
+            _delta_rows(30),
+            ctypes={c.name: c.ctype for c in base.columns},
+            column_order=base.column_names,
+            name="delta",
+        )
+        encode_dataset(delta)
+        merged = append_dataset(base, delta)
+        seeded = getattr(merged, _CACHE_ATTR)
+
+        def _boom(self, name):  # pragma: no cover - only runs on regression
+            raise AssertionError(f"column {name!r} was re-encoded after append")
+
+        monkeypatch.setattr(type(seeded), "_encode_numeric", _boom)
+        monkeypatch.setattr(type(seeded), "_encode_categorical", _boom)
+        for column in merged.columns:
+            if column.is_numeric():
+                seeded.numeric_view(column.name)
+            else:
+                seeded.codes_view(column.name)
+
+    def test_vocabulary_is_append_stable(self):
+        base = _base_dataset(100)
+        base_vocab = encode_dataset(base).codes_view("region")[1]
+        merged = append_rows(base, _delta_rows(25))
+        vocab = getattr(merged, _CACHE_ATTR).codes_view("region")[1]
+        assert vocab[: len(base_vocab)] == base_vocab
+        assert "dNEW" in vocab
+
+    def test_empty_delta_returns_base(self):
+        base = _base_dataset(20)
+        assert append_rows(base, []) is base
+
+    def test_unknown_column_is_schema_error(self):
+        base = _base_dataset(10)
+        with pytest.raises(SchemaError, match="unknown column"):
+            append_rows(base, [{"region": "a", "bogus": 1}])
+
+    def test_uncoercible_cell_is_schema_error(self):
+        base = _base_dataset(10)
+        with pytest.raises(SchemaError, match="schema-incompatible rows"):
+            append_rows(base, [{"amount": "not-a-number"}])
+
+    def test_mismatched_columns_is_schema_error(self):
+        base = _base_dataset(10)
+        other = Dataset.from_rows([{"x": 1.0}], name="other")
+        with pytest.raises(SchemaError, match="schema-incompatible delta"):
+            append_dataset(base, other)
+
+    def test_mismatched_ctype_is_schema_error(self):
+        base = _base_dataset(10)
+        rows = list(base.iter_rows())[:3]
+        delta = Dataset.from_rows(
+            rows,
+            ctypes={"region": ColumnType.CATEGORICAL, "year": ColumnType.NUMERIC,
+                    "amount": ColumnType.NUMERIC, "score": ColumnType.STRING},
+            column_order=base.column_names,
+        )
+        with pytest.raises(SchemaError, match="schema-incompatible delta"):
+            append_dataset(base, delta)
+
+    def test_all_missing_delta_block(self):
+        base = _base_dataset(60)
+        encode_dataset(base)
+        merged = append_rows(base, [{} for _ in range(5)])
+        assert merged.n_rows == 65
+        _assert_identical_encodings(merged, _cold(merged))
+
+    def test_repeated_appends_stay_identical(self):
+        merged = _base_dataset(80)
+        encode_dataset(merged)
+        for seed in (7, 8, 9):
+            merged = append_rows(merged, _delta_rows(15, seed=seed))
+        assert merged.n_rows == 125
+        _assert_identical_encodings(merged, _cold(merged))
+
+
+# ---------------------------------------------------------------------------
+# Chunked readers
+# ---------------------------------------------------------------------------
+
+class TestChunkedReaders:
+    @pytest.fixture()
+    def csv_file(self, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(_base_dataset(97), path)
+        return path
+
+    def test_csv_chunks_reproduce_read_csv(self, csv_file):
+        whole = read_csv(csv_file)
+        blocks = list(read_csv_chunks(csv_file, chunk_rows=10))
+        assert [b.n_rows for b in blocks] == [10] * 9 + [7]
+        combined = blocks[0]
+        for block in blocks[1:]:
+            combined = combined.concat(block)
+        combined.name = whole.name
+        _assert_identical_datasets(combined, whole)
+
+    def test_csv_chunks_single_block(self, csv_file):
+        blocks = list(read_csv_chunks(csv_file, chunk_rows=1000))
+        assert len(blocks) == 1 and blocks[0].n_rows == 97
+
+    def test_csv_chunk_rows_must_be_positive(self, csv_file):
+        with pytest.raises(SchemaError, match="chunk_rows"):
+            next(read_csv_chunks(csv_file, chunk_rows=0))
+
+    def test_csv_empty_file_is_an_error(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SchemaError, match="empty CSV content"):
+            list(read_csv_chunks(path))
+
+    def test_csv_header_only_is_an_error(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n", encoding="utf-8")
+        with pytest.raises(SchemaError, match="header row and at least one data row"):
+            list(read_csv_chunks(path))
+
+    def test_csv_overlong_row_is_an_error(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(SchemaError, match="salvage"):
+            list(read_csv_chunks(path))
+
+    def test_csv_blank_rows_and_padding(self, tmp_path):
+        path = tmp_path / "padded.csv"
+        path.write_text("a,b\n1,2\n\n3\n", encoding="utf-8")
+        blocks = list(read_csv_chunks(path, chunk_rows=100))
+        rows = list(blocks[0].iter_rows())
+        assert len(rows) == 2
+        padded = rows[1]["b"]
+        assert padded is None or padded != padded  # missing: None or nan
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        rows = _base_rows(41, seed=3)
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n", encoding="utf-8")
+        whole = read_jsonl(path)
+        assert whole.n_rows == 41
+        assert whole.column_names == ["region", "year", "amount", "score"]
+        blocks = list(read_jsonl_chunks(path, chunk_rows=8))
+        assert [b.n_rows for b in blocks] == [8] * 5 + [1]
+
+    def test_jsonl_missing_tokens_normalised(self, tmp_path):
+        path = tmp_path / "na.jsonl"
+        path.write_text('{"a": "NA", "b": 1}\n{"a": "x", "b": 2}\n', encoding="utf-8")
+        dataset = read_jsonl(path)
+        assert dataset["a"].tolist()[0] is None
+
+    def test_jsonl_malformed_line_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\n{broken\n', encoding="utf-8")
+        with pytest.raises(SchemaError, match="malformed JSON on line 2"):
+            list(read_jsonl_chunks(path))
+
+    def test_jsonl_non_object_line_is_an_error(self, tmp_path):
+        path = tmp_path / "list.jsonl"
+        path.write_text("[1, 2]\n", encoding="utf-8")
+        with pytest.raises(SchemaError, match="not an object"):
+            list(read_jsonl_chunks(path))
+
+    def test_jsonl_nested_value_is_an_error(self, tmp_path):
+        path = tmp_path / "nested.jsonl"
+        path.write_text('{"a": {"deep": 1}}\n', encoding="utf-8")
+        with pytest.raises(SchemaError, match="nested"):
+            list(read_jsonl_chunks(path))
+
+    def test_jsonl_late_unknown_key_is_an_error(self, tmp_path):
+        path = tmp_path / "drift.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2, "b": 3}\n', encoding="utf-8")
+        with pytest.raises(SchemaError, match="unknown column"):
+            list(read_jsonl_chunks(path, chunk_rows=1))
+
+    def test_jsonl_empty_file_is_an_error(self, tmp_path):
+        path = tmp_path / "none.jsonl"
+        path.write_text("\n\n", encoding="utf-8")
+        with pytest.raises(SchemaError, match="contains no records"):
+            list(read_jsonl_chunks(path))
+
+
+# ---------------------------------------------------------------------------
+# Feed connector
+# ---------------------------------------------------------------------------
+
+def _write_feed(directory, batches):
+    directory.mkdir(exist_ok=True)
+    for i, batch in enumerate(batches):
+        (directory / f"batch-{i:03d}.jsonl").write_text(
+            "\n".join(json.dumps(r) for r in batch) + "\n", encoding="utf-8"
+        )
+    return directory
+
+
+class _FlakyFeed(FixtureFeed):
+    """A fixture feed that fails transiently a set number of times."""
+
+    def __init__(self, root, failures: int):
+        super().__init__(root)
+        self.failures = failures
+        self.attempts = 0
+
+    def page(self, offset, limit, since=None):
+        self.attempts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise FeedTransientError("simulated outage")
+        return super().page(offset, limit, since=since)
+
+
+class TestConnector:
+    @pytest.fixture()
+    def feed_dir(self, tmp_path):
+        records = [
+            {"region": f"r{i % 3}", "amount": float(i), "datum": f"2026-08-{i + 1:02d}"}
+            for i in range(9)
+        ]
+        return _write_feed(tmp_path / "feed", [records[:4], records[4:]])
+
+    def test_batches_consumed_in_sorted_order(self, feed_dir):
+        feed = FixtureFeed(feed_dir)
+        assert [p.name for p in feed.batch_paths] == ["batch-000.jsonl", "batch-001.jsonl"]
+        records = FeedConnector(feed, page_size=4).records()
+        assert [r["amount"] for r in records] == [float(i) for i in range(9)]
+
+    def test_single_file_feed(self, feed_dir):
+        feed = FixtureFeed(feed_dir / "batch-000.jsonl")
+        assert len(feed.page(0, 100)) == 4
+
+    def test_cursor_filtering(self, feed_dir):
+        connector = FeedConnector(FixtureFeed(feed_dir), page_size=100)
+        records = connector.records(since="2026-08-06")
+        assert [r["datum"] for r in records] == ["2026-08-07", "2026-08-08", "2026-08-09"]
+
+    def test_pages_stop_on_short_page(self, feed_dir):
+        pages = list(FeedConnector(FixtureFeed(feed_dir), page_size=4).pages())
+        assert [len(p) for p in pages] == [4, 4, 1]
+
+    def test_throttle_sleeps_between_pages_only(self, feed_dir):
+        waits = []
+        connector = FeedConnector(
+            FixtureFeed(feed_dir), page_size=4, throttle=1.5, _sleep=waits.append
+        )
+        list(connector.pages())
+        assert waits == [1.5, 1.5]
+
+    def test_transient_failures_are_retried(self, feed_dir):
+        waits = []
+        feed = _FlakyFeed(feed_dir, failures=2)
+        connector = FeedConnector(feed, page_size=100, retry_wait=0.25, _sleep=waits.append)
+        assert len(connector.records()) == 9
+        assert waits == [0.25, 0.25]
+
+    def test_exhausted_retries_raise_feed_error(self, feed_dir):
+        feed = _FlakyFeed(feed_dir, failures=10)
+        connector = FeedConnector(feed, max_retries=2, _sleep=lambda _: None)
+        with pytest.raises(FeedError, match="after 2 retries"):
+            connector.records()
+
+    def test_invalid_parameters(self, feed_dir):
+        with pytest.raises(FeedError, match="page_size"):
+            FeedConnector(FixtureFeed(feed_dir), page_size=0)
+        with pytest.raises(FeedError, match="max_retries"):
+            FeedConnector(FixtureFeed(feed_dir), max_retries=-1)
+
+    def test_missing_fixture_is_feed_error(self, tmp_path):
+        with pytest.raises(FeedError, match="does not exist"):
+            FixtureFeed(tmp_path / "nope")
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FeedError, match="no .jsonl batch files"):
+            FixtureFeed(tmp_path / "empty")
+
+    def test_malformed_fixture_is_feed_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{oops\n", encoding="utf-8")
+        with pytest.raises(FeedError, match="malformed JSON"):
+            FixtureFeed(path).page(0, 10)
+
+    def test_fetch_dataset(self, feed_dir):
+        connector = FeedConnector(FixtureFeed(feed_dir))
+        dataset = connector.fetch_dataset(name="delta")
+        assert dataset.n_rows == 9 and dataset.name == "delta"
+        assert connector.fetch_dataset(since="2027-01-01") is None
+
+
+# ---------------------------------------------------------------------------
+# Incremental group-by / cube / KPI board
+# ---------------------------------------------------------------------------
+
+class TestIncrementalGroupBy:
+    AGGS = {f"amount_{agg}": ("amount", agg) for agg in AGGREGATIONS}
+
+    def test_refresh_is_bit_identical_for_every_aggregation(self):
+        base = _base_dataset(200)
+        board = IncrementalGroupBy(base, ["region", "year"], self.AGGS)
+        assert board.incremental
+        merged = append_rows(base, _delta_rows(50))
+        _assert_identical_datasets(
+            board.refresh(merged), group_by(_cold(merged), ["region", "year"], self.AGGS)
+        )
+
+    def test_initial_result_matches_group_by(self):
+        base = _base_dataset(120)
+        board = IncrementalGroupBy(base, ["region"], self.AGGS)
+        _assert_identical_datasets(board.result(), group_by(base, ["region"], self.AGGS))
+
+    def test_sequential_refreshes(self):
+        merged = _base_dataset(100)
+        board = IncrementalGroupBy(merged, ["region"], self.AGGS)
+        for seed in (5, 6, 7):
+            merged = append_rows(merged, _delta_rows(20, seed=seed))
+            result = board.refresh(merged)
+        _assert_identical_datasets(result, group_by(_cold(merged), ["region"], self.AGGS))
+
+    def test_empty_delta_refresh(self):
+        base = _base_dataset(60)
+        board = IncrementalGroupBy(base, ["region"], self.AGGS)
+        _assert_identical_datasets(board.refresh(base), group_by(base, ["region"], self.AGGS))
+
+    def test_force_full_refresh_routes_to_group_by(self, monkeypatch):
+        base = _base_dataset(50)
+        board = IncrementalGroupBy(base, ["region"], {"total": ("amount", "sum")})
+        merged = append_rows(base, _delta_rows(10))
+        calls = []
+        real = incremental_module.group_by
+
+        def _spy(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(incremental_module, "group_by", _spy)
+        board.refresh(merged)
+        assert not calls  # incremental path: no batch group_by
+        board._force_full_refresh = True
+        merged2 = append_rows(merged, _delta_rows(5, seed=3))
+        result = board.refresh(merged2)
+        assert len(calls) == 1
+        _assert_identical_datasets(result, real(_cold(merged2), ["region"], {"total": ("amount", "sum")}))
+
+    def test_forced_instance_can_resume_incrementally(self):
+        base = _base_dataset(50)
+        board = IncrementalGroupBy(base, ["region"], self.AGGS)
+        board._force_full_refresh = True
+        merged = append_rows(base, _delta_rows(10))
+        board.refresh(merged)
+        board._force_full_refresh = False
+        merged2 = append_rows(merged, _delta_rows(10, seed=4))
+        _assert_identical_datasets(
+            board.refresh(merged2), group_by(_cold(merged2), ["region"], self.AGGS)
+        )
+
+    def test_non_numeric_source_falls_back(self, monkeypatch):
+        # A STRING source column (numeric-looking cells) cannot be folded:
+        # the reference coerces each cell with float(v) at aggregation time.
+        rows = [{"g": f"k{i % 3}", "v": str(i)} for i in range(30)]
+        ctypes = {"g": ColumnType.CATEGORICAL, "v": ColumnType.STRING}
+        base = Dataset.from_rows(rows, name="strs", ctypes=ctypes)
+        board = IncrementalGroupBy(base, ["g"], {"n": ("v", "sum")})
+        assert not board.incremental
+        calls = []
+        real = incremental_module.group_by
+        monkeypatch.setattr(
+            incremental_module, "group_by",
+            lambda *a, **k: calls.append(a) or real(*a, **k),
+        )
+        delta = Dataset.from_rows(
+            [{"g": "k9", "v": str(100 + i)} for i in range(5)], ctypes=ctypes
+        )
+        merged = append_dataset(base, delta)
+        result = board.refresh(merged)
+        assert len(calls) == 1
+        _assert_identical_datasets(result, real(_cold(merged), ["g"], {"n": ("v", "sum")}))
+
+    def test_validation_matches_group_by(self):
+        base = _base_dataset(10)
+        with pytest.raises(SchemaError, match="unknown group-by key"):
+            IncrementalGroupBy(base, ["ghost"], self.AGGS)
+        with pytest.raises(SchemaError, match="unknown column"):
+            IncrementalGroupBy(base, ["region"], {"x": ("ghost", "sum")})
+        with pytest.raises(SchemaError, match="unknown aggregation"):
+            IncrementalGroupBy(base, ["region"], {"x": ("amount", "mode")})
+
+    def test_refresh_target_validation(self):
+        base = _base_dataset(30)
+        board = IncrementalGroupBy(base, ["region"], self.AGGS)
+        with pytest.raises(SchemaError, match="columns"):
+            board.refresh(Dataset.from_rows([{"x": 1.0}]))
+        with pytest.raises(SchemaError, match="fewer than"):
+            board.refresh(base.head(5))
+
+
+class TestIncrementalCubeAndKPIs:
+    def _cube(self, dataset, name="budget"):
+        return Cube(
+            dataset,
+            dimensions=[Dimension("geo", ("region",)), Dimension("time", ("year",))],
+            measures=[Measure("total", "amount", "sum"), Measure("avg_score", "score", "mean")],
+            name=name,
+        )
+
+    def test_cube_aggregate_refresh_matches_batch(self):
+        base = _base_dataset(150)
+        board = incremental_cube_aggregate(self._cube(base), ["region", "year"])
+        merged = append_rows(base, _delta_rows(40))
+        _assert_identical_datasets(
+            board.refresh(merged), self._cube(_cold(merged)).aggregate(["region", "year"])
+        )
+
+    def test_empty_levels_is_an_error(self):
+        with pytest.raises(OLAPError, match="at least one level"):
+            incremental_cube_aggregate(self._cube(_base_dataset(10)), [])
+
+    def test_force_row_olap_pins_full_refresh(self):
+        cube = self._cube(_base_dataset(10))
+        cube._force_row_olap = True
+        assert incremental_cube_aggregate(cube, ["region"])._force_full_refresh
+
+    def test_kpi_board_refresh_matches_batch(self):
+        kpis = [
+            KPI("spend", "amount", target=100.0, higher_is_better=False, tolerance=0.2),
+            KPI("quality", "score", target=0.5),
+        ]
+        base = _base_dataset(150)
+        board = IncrementalKPIBoard(kpis, self._cube(base), "region")
+        merged = append_rows(base, _delta_rows(40))
+        refreshed = board.refresh(merged)
+        batch = evaluate_kpis_by_level(kpis, self._cube(_cold(merged)), "region")
+        _assert_identical_datasets(refreshed, batch)
+        _assert_identical_datasets(board.result(), batch)
+
+    def test_kpi_board_forced_refresh_matches_batch(self, monkeypatch):
+        kpis = [KPI("spend", "amount", target=100.0)]
+        base = _base_dataset(60)
+        board = IncrementalKPIBoard(kpis, self._cube(base), "region")
+        board._force_full_refresh = True
+        calls = []
+        real = incremental_module.group_by
+        monkeypatch.setattr(
+            incremental_module, "group_by",
+            lambda *a, **k: calls.append(a) or real(*a, **k),
+        )
+        merged = append_rows(base, _delta_rows(15))
+        refreshed = board.refresh(merged)
+        assert len(calls) == 1
+        assert not board._grouped._force_full_refresh  # restored after the forced pass
+        _assert_identical_datasets(
+            refreshed, evaluate_kpis_by_level(kpis, self._cube(_cold(merged)), "region")
+        )
+
+    def test_kpi_validation_matches_batch_evaluator(self):
+        cube = self._cube(_base_dataset(10))
+        with pytest.raises(ReproError, match="no KPIs"):
+            IncrementalKPIBoard([], cube, "region")
+        with pytest.raises(ReproError, match="callable"):
+            IncrementalKPIBoard([KPI("f", lambda d: 1.0, target=1.0)], cube, "region")
+        with pytest.raises(ReproError, match="unknown column"):
+            IncrementalKPIBoard([KPI("g", "ghost", target=1.0)], cube, "region")
+        with pytest.raises(ReproError, match="non-numeric"):
+            IncrementalKPIBoard([KPI("r", "region", target=1.0)], cube, "region")
+        with pytest.raises(ReproError, match="collides"):
+            IncrementalKPIBoard([KPI("region", "amount", target=1.0)], cube, "region")
+
+
+# ---------------------------------------------------------------------------
+# Incremental quality profiles
+# ---------------------------------------------------------------------------
+
+class TestIncrementalProfile:
+    def test_refresh_matches_measure_quality_all_criteria(self):
+        base = _base_dataset(150)
+        profile = IncrementalProfile(base)
+        merged = append_rows(base, _delta_rows(40))
+        _assert_identical_profiles(profile.refresh(merged), measure_quality(_cold(merged)))
+
+    def test_routing_split(self):
+        profile = IncrementalProfile(_base_dataset(30))
+        assert set(profile.incremental_criteria) == {
+            "completeness", "duplication", "balance", "dimensionality",
+        }
+        assert set(profile.fallback_criteria) == {
+            "accuracy", "consistency", "correlation", "outliers",
+        }
+
+    def test_sequential_refreshes(self):
+        merged = _base_dataset(100)
+        profile = IncrementalProfile(merged)
+        for seed in (11, 12):
+            merged = append_rows(merged, _delta_rows(25, seed=seed))
+            refreshed = profile.refresh(merged)
+        _assert_identical_profiles(refreshed, measure_quality(_cold(merged)))
+
+    def test_initial_profile_matches_measure_quality(self):
+        base = _base_dataset(80)
+        _assert_identical_profiles(IncrementalProfile(base).profile(), measure_quality(_cold(base)))
+
+    def test_balance_with_categorical_target(self):
+        base = _base_dataset(120).set_target("region")
+        profile = IncrementalProfile(base, criteria=["balance"])
+        assert profile.incremental_criteria == ["balance"]
+        merged = append_rows(base, _delta_rows(30))
+        _assert_identical_profiles(
+            profile.refresh(merged), measure_quality(_cold(merged), ["balance"])
+        )
+
+    def test_balance_with_numeric_target_falls_back(self):
+        base = _base_dataset(60).set_target("amount")
+        profile = IncrementalProfile(base, criteria=["balance"])
+        assert profile.fallback_criteria == ["balance"]
+        merged = append_rows(base, _delta_rows(20))
+        _assert_identical_profiles(
+            profile.refresh(merged), measure_quality(_cold(merged), ["balance"])
+        )
+
+    def test_force_row_criterion_falls_back(self):
+        criterion = CompletenessCriterion()
+        criterion._force_row_measure = True
+        profile = IncrementalProfile(_base_dataset(40), criteria=[criterion])
+        assert profile.fallback_criteria == ["completeness"]
+
+    def test_subclassed_criterion_falls_back(self):
+        class CustomCompleteness(CompletenessCriterion):
+            pass
+
+        profile = IncrementalProfile(_base_dataset(40), criteria=[CustomCompleteness()])
+        assert profile.fallback_criteria == ["completeness"]
+        merged = append_rows(profile._dataset, _delta_rows(10))
+        _assert_identical_profiles(
+            profile.refresh(merged), measure_quality(_cold(merged), [CustomCompleteness()])
+        )
+
+    def test_force_full_refresh_routes_to_measure_quality(self, monkeypatch):
+        base = _base_dataset(50)
+        profile = IncrementalProfile(base, criteria=["completeness", "balance"])
+        calls = []
+        real = incremental_module.measure_quality
+        monkeypatch.setattr(
+            incremental_module, "measure_quality",
+            lambda *a, **k: calls.append(a) or real(*a, **k),
+        )
+        merged = append_rows(base, _delta_rows(10))
+        profile.refresh(merged)
+        assert not calls
+        profile._force_full_refresh = True
+        merged2 = append_rows(merged, _delta_rows(10, seed=2))
+        refreshed = profile.refresh(merged2)
+        assert len(calls) == 1
+        _assert_identical_profiles(
+            refreshed, real(_cold(merged2), ["completeness", "balance"])
+        )
+
+    def test_refresh_target_validation(self):
+        profile = IncrementalProfile(_base_dataset(30))
+        with pytest.raises(SchemaError, match="fewer than"):
+            profile.refresh(_base_dataset(10))
+
+    def test_balance_without_discrete_columns(self):
+        rows = [{"x": float(i), "y": float(i * 2)} for i in range(20)]
+        base = Dataset.from_rows(rows, name="nums")
+        profile = IncrementalProfile(base, criteria=["balance"])
+        merged = append_rows(base, [{"x": 1.0, "y": 2.0}])
+        _assert_identical_profiles(
+            profile.refresh(merged), measure_quality(_cold(merged), ["balance"])
+        )
+
+
+# ---------------------------------------------------------------------------
+# Columnar triple-index appends
+# ---------------------------------------------------------------------------
+
+def _graph_triples(n: int, prefix: str = "s"):
+    from repro.lod.terms import IRI, Literal, Triple
+
+    triples = []
+    for i in range(n):
+        subject = IRI(f"http://ex/{prefix}{i}")
+        triples.append(Triple(subject, IRI("http://ex/p"), Literal(str(i))))
+        triples.append(Triple(subject, IRI("http://ex/q"), IRI(f"http://ex/o{i % 5}")))
+    return triples
+
+
+class TestTripleStoreAppend:
+    def _store(self, n=30):
+        from repro.lod.triples import TripleStore
+
+        store = TripleStore()
+        for triple in _graph_triples(n):
+            store.add(triple)
+        return store
+
+    def test_append_extends_snapshot_bit_identically(self):
+        from repro.lod.triples import TripleStore
+
+        store = self._store(30)
+        snapshot = store.columnar()
+        snapshot.order("spo")  # materialise the primary order + blocks
+        added = store.append(_graph_triples(10, prefix="new"))
+        assert added == 20
+        assert store.columnar() is snapshot  # kept, not rebuilt
+        reference = TripleStore()
+        for triple in _graph_triples(30):
+            reference.add(triple)
+        for triple in _graph_triples(10, prefix="new"):
+            reference.add(triple)
+        fresh = reference.columnar()
+        assert snapshot.terms == fresh.terms
+        for kind in ("spo", "pos", "osp"):
+            for extended, rebuilt in zip(snapshot.order(kind), fresh.order(kind)):
+                assert np.array_equal(extended, rebuilt)
+            for extended, rebuilt in zip(snapshot._block_table(kind), fresh._block_table(kind)):
+                assert np.array_equal(extended, rebuilt)
+
+    def test_append_existing_subject_falls_back(self):
+        from repro.lod.terms import IRI, Literal, Triple
+
+        store = self._store(10)
+        snapshot = store.columnar()
+        # A new triple under an existing subject would grow SPO mid-array, so
+        # the append falls back to update() and invalidates the snapshot.
+        added = store.append([Triple(IRI("http://ex/s0"), IRI("http://ex/extra"), Literal("x"))])
+        assert added == 1
+        assert store._columnar is not snapshot
+
+    def test_append_duplicates_keep_snapshot(self):
+        store = self._store(10)
+        snapshot = store.columnar()
+        assert store.append(_graph_triples(3)) == 0  # all already present
+        assert store._columnar is snapshot
+
+    def test_append_force_rebuild_invalidates(self):
+        store = self._store(10)
+        store.columnar()
+        store.append(_graph_triples(2, prefix="fresh"), _force_rebuild=True)
+        assert store._columnar is None
+
+    def test_append_rejects_non_triples(self):
+        store = self._store(5)
+        with pytest.raises(LODError, match="expects Triples"):
+            store.append(["not-a-triple"])
+
+
+# ---------------------------------------------------------------------------
+# Ingest CLI end to end
+# ---------------------------------------------------------------------------
+
+class TestIngestEndToEnd:
+    def test_ingest_append_reload_parity(self, tmp_path):
+        """Feed batch → `repro ingest` → atomic store replace → /reload → served
+        bytes match a direct library call over the merged data."""
+        from repro.cli import main
+        from repro.serve import create_server
+        from repro.serve.endpoints import encode_response, evaluate
+
+        rows = [
+            {"region": f"r{i % 4}", "year": 2020 + i % 3, "amount": float(i),
+             "datum": f"2026-07-{i % 28 + 1:02d}"}
+            for i in range(50)
+        ]
+        store = tmp_path / "budget.rps"
+        Dataset.from_rows(rows, name="budget").save(store)
+        delta = [
+            {"region": f"r{i % 5}", "year": 2023, "amount": float(100 + i),
+             "datum": f"2026-08-{i + 1:02d}"}
+            for i in range(10)
+        ]
+        feed_dir = _write_feed(tmp_path / "feed", [delta[:6], delta[6:]])
+
+        server = create_server(stores=[str(store)], port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        try:
+            with urllib.request.urlopen(f"{server.url}/profile?dataset=budget") as response:
+                fingerprint_before = response.headers["X-Repro-Fingerprint"]
+            code = main(
+                ["ingest", str(feed_dir), str(store),
+                 "--since", "2026-08-03", "--limit", "4", "--reload-url", server.url]
+            )
+            assert code == 0
+            with urllib.request.urlopen(f"{server.url}/profile?dataset=budget") as response:
+                assert response.headers["X-Repro-Fingerprint"] != fingerprint_before
+                served = response.read()
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=10)
+
+        merged = Dataset.open(store)
+        try:
+            assert merged.n_rows == 57  # 50 base + the 7 records after the cursor
+            direct = encode_response(evaluate("/profile", merged, {"dataset": "budget"}, None))
+        finally:
+            merged.close()
+        assert served == direct
+
+    def test_ingest_empty_delta_leaves_store_unchanged(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = tmp_path / "d.rps"
+        Dataset.from_rows([{"a": 1.0, "datum": "2026-01-01"}], name="d").save(store)
+        before = store.read_bytes()
+        feed = _write_feed(tmp_path / "feed", [[{"a": 2.0, "datum": "2026-01-02"}]])
+        assert main(["ingest", str(feed), str(store), "--since", "2027-01-01"]) == 0
+        assert "store unchanged" in capsys.readouterr().out
+        assert store.read_bytes() == before

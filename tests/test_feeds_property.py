@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for the incremental ingestion tier.
+
+The property under test is the batch-vs-incremental contract: for *any*
+sequence of appended batches — mixed sizes, new category levels, all-missing
+blocks, empty deltas — the incrementally refreshed profile, group-by, KPI
+scoreboard and LOD index state must be bit-identical to a one-shot rebuild
+over the concatenation of all the batches.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bi import KPI, Cube, Dimension, Measure, evaluate_kpis_by_level
+from repro.feeds import IncrementalGroupBy, IncrementalKPIBoard, IncrementalProfile, append_rows
+from repro.lod.terms import IRI, Literal, Triple
+from repro.lod.triples import TripleStore
+from repro.quality import measure_quality
+from repro.tabular.dataset import ColumnType, Dataset
+from repro.tabular.encoded import _CACHE_ATTR, encode_dataset
+from repro.tabular.transforms import group_by
+
+# -- strategies --------------------------------------------------------------
+
+_CATEGORIES = ["alpha", "beta", "gamma", "delta", "NEW-1", "NEW-2"]
+
+_row = st.fixed_dictionaries(
+    {
+        "group": st.one_of(st.none(), st.sampled_from(_CATEGORIES)),
+        "value": st.one_of(
+            st.none(),
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+        ),
+    }
+)
+
+_batches = st.lists(st.lists(_row, min_size=0, max_size=12), min_size=1, max_size=5)
+
+_CTYPES = {"group": ColumnType.CATEGORICAL, "value": ColumnType.NUMERIC}
+
+
+def _dataset(rows, name="prop"):
+    padded = rows if rows else [{"group": "alpha", "value": 0.0}]
+    return Dataset.from_rows(padded, name=name, ctypes=_CTYPES, column_order=["group", "value"])
+
+
+def _bits(value):
+    if isinstance(value, float):
+        return struct.pack("<d", value)
+    return value
+
+
+def _assert_identical(a: Dataset, b: Dataset):
+    assert a.column_names == b.column_names
+    assert a.n_rows == b.n_rows
+    for name in a.column_names:
+        for x, y in zip(a[name].tolist(), b[name].tolist()):
+            assert _bits(x) == _bits(y)
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(base=st.lists(_row, min_size=1, max_size=20), batches=_batches)
+@settings(max_examples=30, deadline=None)
+def test_appended_encoding_matches_cold_encode(base, batches):
+    """Extended encoded views equal a cold encode of the concatenated rows."""
+    merged = _dataset(base)
+    encoded = encode_dataset(merged)
+    encoded.codes_view("group")
+    encoded.numeric_view("value")
+    all_rows = list(merged.iter_rows())
+    for batch in batches:
+        merged = append_rows(merged, batch)
+        all_rows.extend(batch)
+    cold = encode_dataset(_dataset(all_rows))
+    seeded = getattr(merged, _CACHE_ATTR)
+    assert seeded.dataset is merged
+    codes, vocabulary, _ = seeded.codes_view("group")
+    c_codes, c_vocab, _ = cold.codes_view("group")
+    assert vocabulary == c_vocab
+    assert np.array_equal(codes, c_codes)
+    values, missing = seeded.numeric_view("value")
+    c_values, c_missing = cold.numeric_view("value")
+    assert np.array_equal(values, c_values, equal_nan=True)
+    assert np.array_equal(missing, c_missing)
+
+
+@given(base=st.lists(_row, min_size=1, max_size=20), batches=_batches)
+@settings(max_examples=30, deadline=None)
+def test_incremental_group_by_matches_one_shot_rebuild(base, batches):
+    aggregations = {f"v_{agg}": ("value", agg) for agg in ("sum", "mean", "min", "max", "count", "std", "median")}
+    merged = _dataset(base)
+    board = IncrementalGroupBy(merged, ["group"], aggregations)
+    all_rows = list(merged.iter_rows())
+    result = board.result()
+    for batch in batches:
+        merged = append_rows(merged, batch)
+        all_rows.extend(batch)
+        result = board.refresh(merged)
+    _assert_identical(result, group_by(_dataset(all_rows), ["group"], aggregations))
+
+
+@given(base=st.lists(_row, min_size=1, max_size=20), batches=_batches)
+@settings(max_examples=20, deadline=None)
+def test_incremental_profile_matches_one_shot_rebuild(base, batches):
+    criteria = ["completeness", "duplication", "balance", "dimensionality", "consistency"]
+    merged = _dataset(base)
+    profile = IncrementalProfile(merged, criteria=criteria)
+    all_rows = list(merged.iter_rows())
+    refreshed = profile.profile()
+    for batch in batches:
+        merged = append_rows(merged, batch)
+        all_rows.extend(batch)
+        refreshed = profile.refresh(merged)
+    rebuilt = measure_quality(_dataset(all_rows), criteria)
+    assert json.dumps(refreshed.to_json_dict(), sort_keys=True) == json.dumps(
+        rebuilt.to_json_dict(), sort_keys=True
+    )
+
+
+@given(base=st.lists(_row, min_size=2, max_size=20), batches=_batches)
+@settings(max_examples=20, deadline=None)
+def test_incremental_kpi_board_matches_one_shot_rebuild(base, batches):
+    kpis = [KPI("spend", "value", target=10.0, higher_is_better=False)]
+
+    def _cube(dataset):
+        return Cube(dataset, [Dimension("g", ("group",))], [Measure("total", "value", "sum")], name="prop")
+
+    merged = _dataset(base)
+    board = IncrementalKPIBoard(kpis, _cube(merged), "group")
+    all_rows = list(merged.iter_rows())
+    result = board.result()
+    for batch in batches:
+        merged = append_rows(merged, batch)
+        all_rows.extend(batch)
+        result = board.refresh(merged)
+    _assert_identical(result, evaluate_kpis_by_level(kpis, _cube(_dataset(all_rows)), "group"))
+
+
+@given(
+    base_subjects=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=15, unique=True),
+    new_batches=st.lists(
+        st.lists(st.integers(min_value=100, max_value=130), min_size=1, max_size=6, unique=True),
+        min_size=1,
+        max_size=3,
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_triple_append_matches_one_shot_rebuild(base_subjects, new_batches):
+    """Extending the columnar snapshot equals rebuilding it, for any batch split."""
+    def _triples(ids):
+        out = []
+        for i in ids:
+            subject = IRI(f"http://ex/s{i}")
+            out.append(Triple(subject, IRI("http://ex/p"), Literal(str(i))))
+            out.append(Triple(subject, IRI("http://ex/q"), IRI(f"http://ex/o{i % 4}")))
+        return out
+
+    store = TripleStore()
+    for triple in _triples(base_subjects):
+        store.add(triple)
+    snapshot = store.columnar()
+    snapshot.order("spo")
+    seen = set(base_subjects)
+    appended = []
+    for batch in new_batches:
+        fresh = [i for i in batch if i not in seen]
+        seen.update(fresh)
+        appended.extend(fresh)
+        store.append(_triples(fresh))
+    reference = TripleStore()
+    for triple in _triples(base_subjects) + _triples(appended):
+        reference.add(triple)
+    rebuilt = reference.columnar()
+    extended = store.columnar()
+    assert extended.terms == rebuilt.terms
+    for kind in ("spo", "pos", "osp"):
+        for left, right in zip(extended.order(kind), rebuilt.order(kind)):
+            assert np.array_equal(left, right)
